@@ -1,0 +1,42 @@
+"""Baseline GPU-resident indexes from the paper's evaluation (Table I).
+
+* :class:`~repro.baselines.rx.RXIndex` — the fine-granular raytraced index
+  RTIndeX (one triangle per key),
+* :class:`~repro.baselines.sorted_array.SortedArrayIndex` — SA, binary search
+  over a sorted array,
+* :class:`~repro.baselines.btree.BPlusTreeIndex` — B+, a GPU B+-tree with
+  cooperative 16-thread traversal (32-bit keys only),
+* :class:`~repro.baselines.hash_table.HashTableIndex` — HT, an open-addressing
+  hash table with cooperative probing (no range lookups),
+* :class:`~repro.baselines.rtscan.RTScanIndex` — RTScan (RTc1), the
+  ray-parallel range-scan competitor, and
+* :class:`~repro.baselines.fullscan.FullScanIndex` — a full scan-and-filter.
+"""
+
+from repro.baselines.base import (
+    GpuIndex,
+    LookupResult,
+    RangeLookupResult,
+    UnsupportedOperation,
+    UpdateResult,
+)
+from repro.baselines.sorted_array import SortedArrayIndex
+from repro.baselines.fullscan import FullScanIndex
+from repro.baselines.hash_table import HashTableIndex
+from repro.baselines.btree import BPlusTreeIndex
+from repro.baselines.rx import RXIndex
+from repro.baselines.rtscan import RTScanIndex
+
+__all__ = [
+    "GpuIndex",
+    "LookupResult",
+    "RangeLookupResult",
+    "UpdateResult",
+    "UnsupportedOperation",
+    "SortedArrayIndex",
+    "FullScanIndex",
+    "HashTableIndex",
+    "BPlusTreeIndex",
+    "RXIndex",
+    "RTScanIndex",
+]

@@ -1,0 +1,205 @@
+"""Common interface and result types for all GPU-resident indexes.
+
+Every index (the baselines as well as cgRX/cgRXu) implements
+:class:`GpuIndex`: it is bulk-loaded from a key-rowID array, answers batched
+point and range lookups, optionally supports batched updates, and reports its
+permanent device memory footprint.  All operations return, next to the actual
+result values, a :class:`~repro.gpu.kernels.KernelStats` record describing the
+work performed, which the benchmark harness converts into simulated time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import ClassVar, List, Optional, Sequence
+
+import numpy as np
+
+from repro.gpu.cost_model import CostModel
+from repro.gpu.device import RTX_4090, GpuDevice
+from repro.gpu.kernels import KernelStats
+from repro.gpu.memory import MemoryFootprint
+
+
+class UnsupportedOperation(RuntimeError):
+    """Raised when an index does not support the requested operation."""
+
+
+@dataclass
+class LookupResult:
+    """Result of a batch of point lookups."""
+
+    #: Aggregated rowID per lookup (sum over duplicates), -1 for a miss.
+    row_ids: np.ndarray
+    #: Number of matching entries per lookup (0 for a miss).
+    match_counts: np.ndarray
+    #: Work performed by the batch.
+    stats: KernelStats
+
+    @property
+    def hits(self) -> int:
+        """Number of lookups that found at least one match."""
+        return int((self.match_counts > 0).sum())
+
+    @property
+    def num_lookups(self) -> int:
+        return int(self.row_ids.shape[0])
+
+
+@dataclass
+class RangeLookupResult:
+    """Result of a batch of range lookups."""
+
+    #: Matching rowIDs for each range lookup.
+    row_ids: List[np.ndarray]
+    #: Work performed by the batch.
+    stats: KernelStats
+
+    @property
+    def total_matches(self) -> int:
+        """Total number of retrieved entries across all lookups."""
+        return int(sum(r.shape[0] for r in self.row_ids))
+
+    @property
+    def num_lookups(self) -> int:
+        return len(self.row_ids)
+
+
+@dataclass
+class UpdateResult:
+    """Result of applying a batch of insertions and deletions."""
+
+    #: Number of keys inserted.
+    inserted: int
+    #: Number of keys deleted.
+    deleted: int
+    #: Work performed (sort + apply, or a full rebuild).
+    stats: KernelStats
+    #: True when the index answered the update by rebuilding from scratch.
+    rebuilt: bool = False
+
+
+class GpuIndex(ABC):
+    """Abstract base class of every simulated GPU-resident index."""
+
+    #: Display name used in benchmark tables, e.g. ``"cgRX (32)"``.
+    name: str = "index"
+
+    #: Feature flags mirrored from Table I of the paper.
+    supports_point: ClassVar[bool] = True
+    supports_range: ClassVar[bool] = True
+    supports_64bit: ClassVar[bool] = True
+    supports_updates: ClassVar[bool] = False
+    supports_bulk_load: ClassVar[bool] = True
+    #: Qualitative memory class from Table I (``"low"``, ``"med"``, ``"high"``).
+    memory_class: ClassVar[str] = "med"
+
+    def __init__(self, device: GpuDevice = RTX_4090) -> None:
+        self.device = device
+        self.cost_model = CostModel(device)
+        #: Kernel records of the bulk-load phase (sorting, triangle
+        #: generation, acceleration-structure build, ...).
+        self.build_stats: List[KernelStats] = []
+
+    # ----------------------------------------------------------------- builds
+
+    @property
+    def build_time_ms(self) -> float:
+        """Simulated time of the bulk load."""
+        return self.cost_model.total_time_ms(self.build_stats)
+
+    # ---------------------------------------------------------------- lookups
+
+    @abstractmethod
+    def point_lookup_batch(self, keys: np.ndarray) -> LookupResult:
+        """Answer a batch of point lookups (one simulated thread per lookup)."""
+
+    def range_lookup_batch(self, lows: np.ndarray, highs: np.ndarray) -> RangeLookupResult:
+        """Answer a batch of range lookups ``[low, high]`` (inclusive bounds)."""
+        raise UnsupportedOperation(f"{self.name} does not support range lookups")
+
+    # ---------------------------------------------------------------- updates
+
+    def update_batch(
+        self,
+        insert_keys: Optional[np.ndarray] = None,
+        insert_row_ids: Optional[np.ndarray] = None,
+        delete_keys: Optional[np.ndarray] = None,
+    ) -> UpdateResult:
+        """Apply a batch of insertions and deletions."""
+        raise UnsupportedOperation(f"{self.name} does not support updates")
+
+    # ----------------------------------------------------------------- memory
+
+    @abstractmethod
+    def memory_footprint(self) -> MemoryFootprint:
+        """Permanent device memory footprint of the index."""
+
+    # ------------------------------------------------------------ conveniences
+
+    def point_lookup(self, key: int) -> LookupResult:
+        """Convenience wrapper: a batch of size one."""
+        return self.point_lookup_batch(np.asarray([key]))
+
+    def range_lookup(self, low: int, high: int) -> RangeLookupResult:
+        """Convenience wrapper: a single range lookup."""
+        return self.range_lookup_batch(np.asarray([low]), np.asarray([high]))
+
+    def lookup_time_ms(self, result: "LookupResult | RangeLookupResult") -> float:
+        """Simulated time of a lookup batch on this index's device."""
+        return self.cost_model.kernel_time_ms(result.stats)
+
+    def throughput_per_footprint(self, result: LookupResult) -> float:
+        """The paper's headline metric: lookups per second per footprint byte."""
+        time_ms = self.lookup_time_ms(result)
+        footprint = self.memory_footprint().total_bytes
+        if time_ms <= 0.0 or footprint <= 0:
+            return float("inf")
+        return result.num_lookups / (time_ms / 1e3) / footprint
+
+    # -------------------------------------------------------------- utilities
+
+    @staticmethod
+    def _as_key_array(keys: Sequence[int], dtype=np.uint64) -> np.ndarray:
+        """Normalise a key sequence to a numpy array of the index's key dtype."""
+        return np.asarray(keys, dtype=dtype)
+
+    def _unique_fraction(self, keys: np.ndarray) -> float:
+        """Fraction of distinct keys in a lookup batch (drives cache modelling)."""
+        if keys.size == 0:
+            return 1.0
+        return float(np.unique(keys).size) / float(keys.size)
+
+    @classmethod
+    def feature_row(cls) -> dict:
+        """Feature-matrix row for Table I."""
+        return {
+            "index": cls.name,
+            "point": cls.supports_point,
+            "range": cls.supports_range,
+            "memory": cls.memory_class,
+            "64bit": cls.supports_64bit,
+            "bulk_load": cls.supports_bulk_load,
+            "updates": cls.supports_updates,
+        }
+
+
+def sorted_lookup_results(
+    sorted_keys: np.ndarray,
+    rowid_prefix: np.ndarray,
+    lookup_keys: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Aggregate duplicate-aware point-lookup results over a sorted key array.
+
+    ``rowid_prefix`` is ``concatenate([[0], cumsum(row_ids)])`` of the rowIDs
+    aligned with ``sorted_keys``.  Returns ``(row_aggregates, match_counts)``
+    where misses carry an aggregate of -1 and a count of 0.  Shared by the
+    sorted-array, B+-tree and full-scan baselines.
+    """
+    left = np.searchsorted(sorted_keys, lookup_keys, side="left")
+    right = np.searchsorted(sorted_keys, lookup_keys, side="right")
+    hit = left < right
+    row_agg = np.where(hit, rowid_prefix[right] - rowid_prefix[left], -1).astype(np.int64)
+    match_counts = (right - left).astype(np.int64)
+    return row_agg, match_counts

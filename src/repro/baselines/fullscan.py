@@ -1,0 +1,106 @@
+"""FullScan: scan the whole column and filter (the range-lookup strawman).
+
+Included in Figure 14 of the paper as a sanity baseline: every range lookup
+reads the entire key column.  Surprisingly it still beats RTScan (RTc1) for
+batched range lookups because it at least keeps the GPU busy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import (
+    GpuIndex,
+    LookupResult,
+    RangeLookupResult,
+    sorted_lookup_results,
+)
+from repro.gpu.device import RTX_4090, GpuDevice
+from repro.gpu.kernels import KernelStats
+from repro.gpu.memory import MemoryFootprint
+
+
+class FullScanIndex(GpuIndex):
+    """No index at all: answer every lookup by scanning the full column."""
+
+    name = "FullScan"
+    supports_point = True
+    supports_range = True
+    supports_64bit = True
+    supports_updates = True
+    supports_bulk_load = True
+    memory_class = "low"
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        row_ids: Optional[np.ndarray] = None,
+        key_bits: int = 64,
+        device: GpuDevice = RTX_4090,
+    ) -> None:
+        super().__init__(device)
+        if key_bits not in (32, 64):
+            raise ValueError("key_bits must be 32 or 64")
+        self.key_bits = key_bits
+        self.key_bytes = key_bits // 8
+        key_dtype = np.uint32 if key_bits == 32 else np.uint64
+
+        self.keys = np.asarray(keys, dtype=key_dtype)
+        if row_ids is None:
+            row_ids = np.arange(self.keys.shape[0], dtype=np.uint32)
+        self.row_ids = np.asarray(row_ids, dtype=np.uint32)
+        self.build_stats = []
+
+        # Internal sorted view used only to *compute* result values quickly in
+        # the simulation; the cost accounting below charges a full scan.
+        order = np.argsort(self.keys, kind="stable")
+        self._sorted_keys = self.keys[order]
+        self._sorted_row_ids = self.row_ids[order]
+        self._rowid_prefix = np.concatenate(
+            [[0], np.cumsum(self._sorted_row_ids.astype(np.int64))]
+        )
+
+    def __len__(self) -> int:
+        return int(self.keys.shape[0])
+
+    def _scan_stats(self, name: str, num_lookups: int, matches_written: int) -> KernelStats:
+        """Each lookup reads the entire key column once."""
+        return KernelStats(
+            name=name,
+            threads=max(num_lookups, 1) * 1024,
+            bytes_read=num_lookups * len(self) * self.key_bytes,
+            bytes_written=matches_written * 4 + num_lookups * 8,
+            compute_ops=num_lookups * len(self),
+            divergence=1.0,
+            launches=1,
+        )
+
+    def point_lookup_batch(self, keys: np.ndarray) -> LookupResult:
+        keys = np.asarray(keys, dtype=self.keys.dtype)
+        row_agg, match_counts = sorted_lookup_results(
+            self._sorted_keys, self._rowid_prefix, keys
+        )
+        stats = self._scan_stats("fullscan.point_lookup", int(keys.shape[0]), int(match_counts.sum()))
+        return LookupResult(row_ids=row_agg, match_counts=match_counts, stats=stats)
+
+    def range_lookup_batch(self, lows: np.ndarray, highs: np.ndarray) -> RangeLookupResult:
+        lows = np.asarray(lows, dtype=self.keys.dtype)
+        highs = np.asarray(highs, dtype=self.keys.dtype)
+        if lows.shape != highs.shape:
+            raise ValueError("lows and highs must have the same shape")
+        first = np.searchsorted(self._sorted_keys, lows, side="left")
+        stop = np.searchsorted(self._sorted_keys, highs, side="right")
+        row_ids: List[np.ndarray] = [
+            self._sorted_row_ids[int(first[i]) : int(stop[i])].copy()
+            for i in range(lows.shape[0])
+        ]
+        total = int(sum(r.shape[0] for r in row_ids))
+        stats = self._scan_stats("fullscan.range_lookup", int(lows.shape[0]), total)
+        return RangeLookupResult(row_ids=row_ids, stats=stats)
+
+    def memory_footprint(self) -> MemoryFootprint:
+        footprint = MemoryFootprint()
+        footprint.add("key_rowid_array", len(self) * (self.key_bytes + 4))
+        return footprint

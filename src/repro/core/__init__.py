@@ -1,0 +1,29 @@
+"""cgRX: the paper's contribution — coarse-granular raytraced indexing.
+
+The public entry points are:
+
+* :class:`~repro.core.config.CgRXConfig` / :class:`~repro.core.config.CgRXuConfig`
+  — configuration objects,
+* :class:`~repro.core.index.CgRXIndex` — the static, bulk-loaded index with
+  the naive or optimized scene representation (Section III of the paper), and
+* :class:`~repro.core.updatable.CgRXuIndex` — the node-based updatable
+  variant (Section IV).
+"""
+
+from repro.core.config import BucketLayout, CgRXConfig, CgRXuConfig, Representation, SearchStrategy
+from repro.core.key_mapping import KeyMapping
+from repro.core.bucketing import BucketedKeys
+from repro.core.index import CgRXIndex
+from repro.core.updatable import CgRXuIndex
+
+__all__ = [
+    "BucketLayout",
+    "CgRXConfig",
+    "CgRXuConfig",
+    "Representation",
+    "SearchStrategy",
+    "KeyMapping",
+    "BucketedKeys",
+    "CgRXIndex",
+    "CgRXuIndex",
+]

@@ -1,0 +1,347 @@
+"""The public cgRX index facade.
+
+:class:`CgRXIndex` wires together the sorted bucketed key-rowID array, the key
+mapping, the raytracing pipeline and one of the two scene representations,
+and exposes the :class:`~repro.baselines.base.GpuIndex` interface (batched
+point lookups, batched range lookups, rebuild-based updates and
+memory-footprint reporting).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import (
+    GpuIndex,
+    LookupResult,
+    RangeLookupResult,
+    UpdateResult,
+)
+from repro.core.bucket_search import BucketSearchModel
+from repro.core.bucketing import BucketedKeys
+from repro.core.config import CgRXConfig, Representation
+from repro.core.key_mapping import KeyMapping
+from repro.core.naive import NaiveRepresentation
+from repro.core.optimized import OptimizedRepresentation
+from repro.core.representation import MISS
+from repro.gpu.accel import accel_build_stats, triangle_generation_stats
+from repro.gpu.cost_model import RT_NODE_RESIDUAL_BYTES, RT_TRIANGLE_RESIDUAL_BYTES
+from repro.gpu.device import RTX_4090, GpuDevice
+from repro.gpu.kernels import KernelStats
+from repro.gpu.memory import MemoryFootprint
+from repro.gpu.simt import divergence_factor
+from repro.rtx.bvh import BvhBuildConfig
+from repro.rtx.pipeline import RaytracingPipeline
+from repro.rtx.traversal import RayStats
+
+#: Number of per-lookup work samples used to estimate warp divergence.
+_DIVERGENCE_SAMPLE = 4096
+
+
+class CgRXIndex(GpuIndex):
+    """Coarse-granular raytraced index (the paper's contribution)."""
+
+    name = "cgRX"
+    supports_point = True
+    supports_range = True
+    supports_64bit = True
+    supports_updates = False
+    supports_bulk_load = True
+    memory_class = "low"
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        row_ids: Optional[np.ndarray] = None,
+        config: Optional[CgRXConfig] = None,
+        device: GpuDevice = RTX_4090,
+    ) -> None:
+        super().__init__(device)
+        self.config = config or CgRXConfig()
+        self.name = self.config.describe()
+
+        key_dtype = np.uint32 if self.config.key_bits == 32 else np.uint64
+        keys = np.asarray(keys, dtype=key_dtype)
+        if row_ids is None:
+            row_ids = np.arange(keys.shape[0], dtype=np.uint32)
+        row_ids = np.asarray(row_ids, dtype=np.uint32)
+
+        self.mapping = KeyMapping.for_key_bits(
+            self.config.key_bits, scaled=self.config.scaled_mapping
+        )
+        self._build(keys, row_ids)
+
+    # ------------------------------------------------------------------ build
+
+    def _build(self, keys: np.ndarray, row_ids: np.ndarray) -> None:
+        """Bulk load: sort, bucket, materialise triangles, build the BVH."""
+        self.bucketed = BucketedKeys(
+            keys,
+            row_ids,
+            bucket_size=self.config.bucket_size,
+            key_bytes=self.config.key_bytes,
+        )
+        self.pipeline = RaytracingPipeline(
+            bvh_config=BvhBuildConfig(max_leaf_size=self.config.bvh_leaf_size)
+        )
+        representation_cls = (
+            NaiveRepresentation
+            if self.config.representation is Representation.NAIVE
+            else OptimizedRepresentation
+        )
+        self.representation = representation_cls(self.bucketed, self.mapping, self.pipeline)
+        self.search_model = BucketSearchModel(
+            strategy=self.config.search_strategy,
+            layout=self.config.bucket_layout,
+            key_bytes=self.config.key_bytes,
+        )
+        # Prefix sums over rowIDs let batched lookups aggregate duplicate
+        # groups without per-lookup slicing.
+        self._rowid_prefix = np.concatenate(
+            [[0], np.cumsum(self.bucketed.row_ids.astype(np.int64))]
+        )
+
+        num_triangles = self.representation.triangle_count()
+        bvh_bytes = self.pipeline.bvh.memory_footprint_bytes()
+        self.build_stats = [
+            self.bucketed.sort_stats,
+            triangle_generation_stats(self.bucketed.num_buckets, num_triangles),
+            accel_build_stats(num_triangles, bvh_bytes),
+        ]
+
+    # ---------------------------------------------------------------- lookups
+
+    def _locate_buckets(
+        self, keys: np.ndarray
+    ) -> Tuple[np.ndarray, RayStats, List[int]]:
+        """Run the raytracing stage for a batch of keys.
+
+        Returns the bucketID per key (:data:`MISS` for out-of-range keys), the
+        aggregated ray statistics and a sample of per-lookup work used for the
+        divergence estimate.
+        """
+        stats = RayStats()
+        bucket_ids = np.empty(keys.shape[0], dtype=np.int64)
+        work_sample: List[int] = []
+        sample_every = max(1, keys.shape[0] // _DIVERGENCE_SAMPLE)
+        previous_nodes = 0
+        for position, key in enumerate(keys):
+            bucket_ids[position] = self.representation.locate_bucket(int(key), stats)
+            if position % sample_every == 0:
+                work_sample.append(stats.nodes_visited - previous_nodes)
+            previous_nodes = stats.nodes_visited
+        return bucket_ids, stats, work_sample
+
+    def point_lookup_batch(self, keys: np.ndarray) -> LookupResult:
+        """Batched point lookups: raytracing stage followed by a bucket-scan kernel."""
+        keys = np.asarray(keys, dtype=self.bucketed.keys.dtype)
+        num_lookups = keys.shape[0]
+        bucket_ids, ray_stats, work_sample = self._locate_buckets(keys)
+
+        sorted_keys = self.bucketed.keys
+        left = np.searchsorted(sorted_keys, keys, side="left")
+        right = np.searchsorted(sorted_keys, keys, side="right")
+        starts = np.where(bucket_ids >= 0, bucket_ids * self.bucketed.bucket_size, 0)
+
+        located = bucket_ids >= 0
+        # A lookup is a hit when matches exist and the scan starting at the
+        # located bucket reaches them going forward.
+        hit = located & (left < right) & (starts <= left)
+        row_agg = np.where(
+            hit, self._rowid_prefix[right] - self._rowid_prefix[left], -1
+        ).astype(np.int64)
+        match_counts = np.where(hit, right - left, 0).astype(np.int64)
+
+        # The scan touches everything from the bucket start to the first key
+        # larger than the target (misses included); out-of-range misses touch
+        # nothing.
+        scan_end = np.where(left < right, right, left)
+        entries_scanned = np.where(
+            located, np.maximum(scan_end - starts + 1, 1), 0
+        ).astype(np.int64)
+
+        stats = self._lookup_stats(
+            name="cgrx.point_lookup",
+            keys=keys,
+            ray_stats=ray_stats,
+            entries_scanned=entries_scanned,
+            work_sample=work_sample,
+            range_mode=False,
+        )
+        return LookupResult(row_ids=row_agg, match_counts=match_counts, stats=stats)
+
+    def range_lookup_batch(self, lows: np.ndarray, highs: np.ndarray) -> RangeLookupResult:
+        """Batched range lookups: locate the lower bound, then scan forward."""
+        lows = np.asarray(lows, dtype=self.bucketed.keys.dtype)
+        highs = np.asarray(highs, dtype=self.bucketed.keys.dtype)
+        if lows.shape != highs.shape:
+            raise ValueError("lows and highs must have the same shape")
+
+        bucket_ids, ray_stats, work_sample = self._locate_buckets(lows)
+        sorted_keys = self.bucketed.keys
+        first = np.searchsorted(sorted_keys, lows, side="left")
+        stop = np.searchsorted(sorted_keys, highs, side="right")
+        starts = np.where(bucket_ids >= 0, bucket_ids * self.bucketed.bucket_size, 0)
+
+        row_ids: List[np.ndarray] = []
+        entries_scanned = np.zeros(lows.shape[0], dtype=np.int64)
+        for position in range(lows.shape[0]):
+            if bucket_ids[position] < 0:
+                row_ids.append(np.empty(0, dtype=self.bucketed.row_ids.dtype))
+                continue
+            begin = max(int(first[position]), int(starts[position]))
+            end = int(stop[position])
+            if end <= begin:
+                row_ids.append(np.empty(0, dtype=self.bucketed.row_ids.dtype))
+            else:
+                row_ids.append(self.bucketed.row_ids[begin:end].copy())
+            entries_scanned[position] = max(1, end - int(starts[position]) + 1)
+
+        stats = self._lookup_stats(
+            name="cgrx.range_lookup",
+            keys=lows,
+            ray_stats=ray_stats,
+            entries_scanned=entries_scanned,
+            work_sample=work_sample,
+            range_mode=True,
+        )
+        return RangeLookupResult(row_ids=row_ids, stats=stats)
+
+    def _lookup_stats(
+        self,
+        name: str,
+        keys: np.ndarray,
+        ray_stats: RayStats,
+        entries_scanned: np.ndarray,
+        work_sample: List[int],
+        range_mode: bool,
+    ) -> KernelStats:
+        """Assemble the kernel record of a lookup batch."""
+        num_lookups = int(keys.shape[0])
+        stats = KernelStats(name=name, threads=num_lookups, launches=2)
+
+        # Raytracing stage: the traversal itself is charged to the RT cores;
+        # only the residual (uncompressed / uncached) part of the BVH and
+        # triangle fetches shows up as global-memory traffic.
+        stats.rays_cast = ray_stats.rays_cast
+        stats.bvh_node_visits = ray_stats.nodes_visited
+        stats.triangle_tests = ray_stats.triangle_tests
+        ray_bytes = (
+            ray_stats.nodes_visited * RT_NODE_RESIDUAL_BYTES
+            + ray_stats.triangle_tests * RT_TRIANGLE_RESIDUAL_BYTES
+        )
+        stats.bytes_read += ray_bytes
+
+        # Bucket-search stage: a cooperative-group kernel per batch.
+        search_bytes = 0
+        search_ops = 0
+        bucket_size = self.bucketed.bucket_size
+        for scanned in entries_scanned:
+            if scanned <= 0:
+                continue
+            if range_mode:
+                cost = self.search_model.range_scan(int(scanned))
+            else:
+                cost = self.search_model.point_search(bucket_size, int(scanned))
+            search_bytes += cost.bytes_read
+            search_ops += cost.compute_ops
+        stats.bytes_read += search_bytes
+        stats.compute_ops += search_ops
+
+        # Each lookup reads its key and writes an aggregated result.
+        stats.bytes_read += num_lookups * self.config.key_bytes
+        stats.bytes_written += num_lookups * 8
+
+        stats.divergence = divergence_factor(work_sample)
+        # Cache behaviour differs per structure: the (small) acceleration
+        # structure serves the rays, the (large) key-rowID array serves the
+        # bucket searches.  Weight the two hit rates by their traffic.
+        unique = self._unique_fraction(keys)
+        footprint = self.memory_footprint()
+        ray_hit = self.cost_model.cache_hit_fraction(
+            footprint.get("bvh") + footprint.get("vertex_buffer"), unique
+        )
+        data_hit = self.cost_model.cache_hit_fraction(footprint.get("key_rowid_array"), unique)
+        data_bytes = max(1, stats.total_bytes - ray_bytes)
+        stats.cache_hit_fraction = (ray_hit * ray_bytes + data_hit * data_bytes) / (
+            ray_bytes + data_bytes
+        )
+        return stats
+
+    # ---------------------------------------------------------------- updates
+
+    def update_batch(
+        self,
+        insert_keys: Optional[np.ndarray] = None,
+        insert_row_ids: Optional[np.ndarray] = None,
+        delete_keys: Optional[np.ndarray] = None,
+    ) -> UpdateResult:
+        """Apply updates by rebuilding the whole index (the static cgRX strategy)."""
+        keys = self.bucketed.keys
+        row_ids = self.bucketed.row_ids
+
+        deleted = 0
+        if delete_keys is not None and len(delete_keys) > 0:
+            delete_keys = np.asarray(delete_keys, dtype=keys.dtype)
+            keep = np.ones(keys.shape[0], dtype=bool)
+            positions = np.searchsorted(keys, delete_keys, side="left")
+            for target, position in zip(delete_keys, positions):
+                position = int(position)
+                # Delete the first still-present duplicate of the target key.
+                while (
+                    position < keys.shape[0]
+                    and keys[position] == target
+                    and not keep[position]
+                ):
+                    position += 1
+                if position < keys.shape[0] and keys[position] == target:
+                    keep[position] = False
+                    deleted += 1
+            keys = keys[keep]
+            row_ids = row_ids[keep]
+
+        inserted = 0
+        if insert_keys is not None and len(insert_keys) > 0:
+            insert_keys = np.asarray(insert_keys, dtype=keys.dtype)
+            if insert_row_ids is None:
+                insert_row_ids = np.arange(
+                    row_ids.max() + 1 if row_ids.size else 0,
+                    (row_ids.max() + 1 if row_ids.size else 0) + insert_keys.shape[0],
+                    dtype=np.uint32,
+                )
+            insert_row_ids = np.asarray(insert_row_ids, dtype=np.uint32)
+            keys = np.concatenate([keys, insert_keys])
+            row_ids = np.concatenate([row_ids, insert_row_ids])
+            inserted = int(insert_keys.shape[0])
+
+        self._build(keys, row_ids)
+        rebuild_stats = KernelStats(name="cgrx.rebuild")
+        for part in self.build_stats:
+            rebuild_stats.merge(part)
+        return UpdateResult(inserted=inserted, deleted=deleted, stats=rebuild_stats, rebuilt=True)
+
+    # ----------------------------------------------------------------- memory
+
+    def memory_footprint(self) -> MemoryFootprint:
+        """Key-rowID array + vertex buffer + acceleration structure."""
+        footprint = self.bucketed.memory_footprint()
+        footprint.add("vertex_buffer", self.pipeline.vertex_buffer.memory_footprint_bytes())
+        footprint.add("bvh", self.pipeline.bvh.memory_footprint_bytes())
+        return footprint
+
+    # ------------------------------------------------------------ conveniences
+
+    def __len__(self) -> int:
+        return len(self.bucketed)
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of buckets the key set is partitioned into."""
+        return self.bucketed.num_buckets
+
+    @property
+    def num_triangles(self) -> int:
+        """Number of triangles materialised in the 3D scene."""
+        return self.representation.triangle_count()

@@ -1,0 +1,211 @@
+"""Key mappings from integer keys to positions in the 3D scene.
+
+RX and cgRX place a triangle for a key ``k`` at the grid point obtained by
+slicing ``k`` into an x, y and z component.  Because triangle vertices are
+32-bit floats, at most 23 bits can be represented exactly per dimension, so
+the default mapping for 64-bit keys is ``k -> (k[22:0], k[45:23], k[63:46])``.
+
+Section V-A of the paper shows that this mapping alone produces poor BVHs for
+sparse key sets: the builder clusters triangles across rows, so the
+unavoidable x-axis ray has to test triangles from neighbouring rows.  The fix
+is to scale the y and z coordinates by large constants (2^15 and 2^25), which
+stretches the scene along y/z and makes the builder separate rows and planes
+first.  :class:`KeyMapping` implements both the unscaled and the scaled
+mapping, plus the small illustrative mapping used in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[int, np.ndarray]
+
+#: Maximum bits representable exactly per float32 dimension.
+MAX_BITS_PER_DIMENSION = 23
+
+#: Scale factors of the "scaled" mapping introduced in Section V-A.
+DEFAULT_Y_SCALE = float(1 << 15)
+DEFAULT_Z_SCALE = float(1 << 25)
+
+
+@dataclass(frozen=True)
+class KeyMapping:
+    """Slices keys into (x, y, z) grid coordinates and scales them into scene space.
+
+    ``x_bits``/``y_bits``/``z_bits`` partition the key starting from the least
+    significant bit.  ``y_scale``/``z_scale`` multiply the grid coordinate when
+    converting to scene coordinates; grid coordinates (used for all equality
+    and ordering logic) are unaffected by scaling.
+    """
+
+    x_bits: int = MAX_BITS_PER_DIMENSION
+    y_bits: int = MAX_BITS_PER_DIMENSION
+    z_bits: int = 18
+    y_scale: float = 1.0
+    z_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.x_bits <= 0:
+            raise ValueError("x_bits must be positive")
+        if self.y_bits < 0 or self.z_bits < 0:
+            raise ValueError("y_bits and z_bits must be non-negative")
+        if self.x_bits > MAX_BITS_PER_DIMENSION:
+            raise ValueError(
+                f"x_bits must not exceed {MAX_BITS_PER_DIMENSION} (float32 precision)"
+            )
+        if self.y_bits > MAX_BITS_PER_DIMENSION:
+            raise ValueError(
+                f"y_bits must not exceed {MAX_BITS_PER_DIMENSION} (float32 precision)"
+            )
+        if self.y_scale < 1.0 or self.z_scale < 1.0:
+            raise ValueError("scale factors must be >= 1")
+
+    # ------------------------------------------------------------ constructors
+
+    @staticmethod
+    def for_key_bits(key_bits: int, scaled: bool = True) -> "KeyMapping":
+        """Default mapping for 32-bit or 64-bit keys.
+
+        64-bit keys use the paper's ``(23, 23, 18)`` split; 32-bit keys fit
+        into ``(23, 9, 0)`` and therefore always live on a single plane.
+        ``scaled=True`` applies the Section V-A scaling, which is the
+        configuration all evaluation experiments use.
+        """
+        if key_bits == 64:
+            mapping = KeyMapping(
+                x_bits=23,
+                y_bits=23,
+                z_bits=18,
+                y_scale=DEFAULT_Y_SCALE if scaled else 1.0,
+                z_scale=DEFAULT_Z_SCALE if scaled else 1.0,
+            )
+        elif key_bits == 32:
+            mapping = KeyMapping(
+                x_bits=23,
+                y_bits=9,
+                z_bits=0,
+                y_scale=DEFAULT_Y_SCALE if scaled else 1.0,
+                z_scale=1.0,
+            )
+        else:
+            raise ValueError("key_bits must be 32 or 64")
+        return mapping
+
+    @staticmethod
+    def example_mapping() -> "KeyMapping":
+        """The tiny ``(3, 2, rest)`` mapping used by the paper's running examples."""
+        return KeyMapping(x_bits=3, y_bits=2, z_bits=10)
+
+    # ------------------------------------------------------------- grid coords
+
+    @property
+    def x_max(self) -> int:
+        """Largest x grid coordinate."""
+        return (1 << self.x_bits) - 1
+
+    @property
+    def y_max(self) -> int:
+        """Largest y grid coordinate (0 when the mapping has no y bits)."""
+        return (1 << self.y_bits) - 1 if self.y_bits else 0
+
+    @property
+    def z_max(self) -> int:
+        """Largest z grid coordinate (0 when the mapping has no z bits)."""
+        return (1 << self.z_bits) - 1 if self.z_bits else 0
+
+    def x_of(self, key: ArrayLike) -> ArrayLike:
+        """x grid coordinate(s) of ``key``."""
+        key = self._as_uint(key)
+        return key & self._mask(self.x_bits)
+
+    def y_of(self, key: ArrayLike) -> ArrayLike:
+        """y grid coordinate(s) of ``key``."""
+        if self.y_bits == 0:
+            return self._zeros_like(key)
+        key = self._as_uint(key)
+        return (key >> np.uint64(self.x_bits)) & self._mask(self.y_bits)
+
+    def z_of(self, key: ArrayLike) -> ArrayLike:
+        """z grid coordinate(s) of ``key``."""
+        if self.z_bits == 0:
+            return self._zeros_like(key)
+        key = self._as_uint(key)
+        return (key >> np.uint64(self.x_bits + self.y_bits)) & self._mask(self.z_bits)
+
+    def yz_of(self, key: ArrayLike) -> ArrayLike:
+        """Combined (y, z) identifier — two keys share a row iff these are equal."""
+        key = self._as_uint(key)
+        return key >> np.uint64(self.x_bits)
+
+    def key_to_grid(self, key: ArrayLike) -> Tuple[ArrayLike, ArrayLike, ArrayLike]:
+        """Grid coordinates ``(x, y, z)`` of ``key`` (scalars or arrays)."""
+        return self.x_of(key), self.y_of(key), self.z_of(key)
+
+    def grid_to_key(self, x: int, y: int = 0, z: int = 0) -> int:
+        """Inverse of :meth:`key_to_grid` for scalar grid coordinates."""
+        if not 0 <= x <= self.x_max:
+            raise ValueError(f"x={x} out of range [0, {self.x_max}]")
+        if not 0 <= y <= self.y_max:
+            raise ValueError(f"y={y} out of range [0, {self.y_max}]")
+        if not 0 <= z <= self.z_max:
+            raise ValueError(f"z={z} out of range [0, {self.z_max}]")
+        return int(x) | (int(y) << self.x_bits) | (int(z) << (self.x_bits + self.y_bits))
+
+    # ------------------------------------------------------------ scene coords
+
+    def grid_to_scene(self, x: float, y: float, z: float) -> Tuple[float, float, float]:
+        """Scene coordinates of a grid point (applies the y/z scaling)."""
+        return float(x), float(y) * self.y_scale, float(z) * self.z_scale
+
+    def key_to_scene(self, key: int) -> Tuple[float, float, float]:
+        """Scene coordinates of ``key``'s triangle centre."""
+        x, y, z = self.key_to_grid(int(key))
+        return self.grid_to_scene(float(x), float(y), float(z))
+
+    def scene_y_to_grid(self, scene_y: float) -> int:
+        """Grid row of a scene y coordinate (used to snap ray-hit positions)."""
+        return int(round(scene_y / self.y_scale))
+
+    def scene_z_to_grid(self, scene_z: float) -> int:
+        """Grid plane of a scene z coordinate."""
+        return int(round(scene_z / self.z_scale))
+
+    @property
+    def single_plane(self) -> bool:
+        """True when the mapping cannot produce more than one plane (z_bits == 0)."""
+        return self.z_bits == 0
+
+    @property
+    def key_bits(self) -> int:
+        """Number of key bits the mapping consumes."""
+        return self.x_bits + self.y_bits + self.z_bits
+
+    def describe(self) -> str:
+        """One-line description, e.g. for benchmark output."""
+        scaling = (
+            f", y_scale=2^{int(np.log2(self.y_scale))}, z_scale=2^{int(np.log2(self.z_scale))}"
+            if self.y_scale > 1.0 or self.z_scale > 1.0
+            else ""
+        )
+        return f"KeyMapping(x={self.x_bits}b, y={self.y_bits}b, z={self.z_bits}b{scaling})"
+
+    # -------------------------------------------------------------- internals
+
+    @staticmethod
+    def _as_uint(key: ArrayLike) -> ArrayLike:
+        if isinstance(key, np.ndarray):
+            return key.astype(np.uint64, copy=False)
+        return np.uint64(int(key))
+
+    @staticmethod
+    def _zeros_like(key: ArrayLike) -> ArrayLike:
+        if isinstance(key, np.ndarray):
+            return np.zeros_like(key, dtype=np.uint64)
+        return np.uint64(0)
+
+    @staticmethod
+    def _mask(bits: int) -> np.uint64:
+        return np.uint64((1 << bits) - 1)

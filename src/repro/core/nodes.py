@@ -1,0 +1,246 @@
+"""Slab-allocated node storage for the updatable index cgRXu (Section IV).
+
+Buckets are linked lists of fixed-size nodes.  Rather than allocating nodes
+individually, cgRXu carves them out of two large slabs:
+
+* the **representative node region** holds exactly one node per bucket (the
+  head of each list); a representative triangle's primitive index multiplied
+  by the node size yields the address of its representative node, and
+* the **linked node region** provides the nodes appended when inserts force a
+  node to split.
+
+Both regions live permanently on the device and count towards the index's
+memory footprint even when nodes are only partially occupied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.gpu.memory import MemoryFootprint
+
+#: ``next`` pointer value marking the end of a bucket's chain.
+NO_NEXT = -1
+
+
+@dataclass
+class NodeView:
+    """A lightweight read view of one node (used by tests and debugging)."""
+
+    index: int
+    keys: np.ndarray
+    row_ids: np.ndarray
+    max_key: int
+    next_node: int
+    size: int
+
+
+class NodeStorage:
+    """Two-region slab of fixed-capacity nodes."""
+
+    def __init__(
+        self,
+        num_representative_nodes: int,
+        node_capacity: int,
+        node_bytes: int,
+        key_dtype=np.uint64,
+        linked_region_initial: int = 0,
+    ) -> None:
+        if num_representative_nodes < 1:
+            raise ValueError("need at least one representative node")
+        if node_capacity < 2:
+            raise ValueError("node_capacity must be >= 2")
+
+        self.node_capacity = int(node_capacity)
+        self.node_bytes = int(node_bytes)
+        self.key_dtype = np.dtype(key_dtype)
+        self.num_representative_nodes = int(num_representative_nodes)
+
+        linked_region_initial = max(int(linked_region_initial), self.num_representative_nodes // 4, 16)
+        total = self.num_representative_nodes + linked_region_initial
+
+        self._keys = np.zeros((total, self.node_capacity), dtype=self.key_dtype)
+        self._row_ids = np.zeros((total, self.node_capacity), dtype=np.uint32)
+        self._sizes = np.zeros(total, dtype=np.int32)
+        self._max_keys = np.zeros(total, dtype=np.uint64)
+        self._next = np.full(total, NO_NEXT, dtype=np.int64)
+        #: Number of linked-region nodes handed out so far.
+        self._linked_used = 0
+
+    # ------------------------------------------------------------- allocation
+
+    @property
+    def linked_region_capacity(self) -> int:
+        """Total linked-region nodes currently reserved (used or not)."""
+        return int(self._keys.shape[0]) - self.num_representative_nodes
+
+    @property
+    def linked_nodes_used(self) -> int:
+        """Linked-region nodes handed out by :meth:`allocate_linked_node`."""
+        return self._linked_used
+
+    @property
+    def total_nodes(self) -> int:
+        """Representative nodes plus allocated linked nodes."""
+        return self.num_representative_nodes + self._linked_used
+
+    def allocate_linked_node(self) -> int:
+        """Hand out a fresh node from the linked region (growing the slab if needed)."""
+        if self._linked_used >= self.linked_region_capacity:
+            self._grow_linked_region()
+        index = self.num_representative_nodes + self._linked_used
+        self._linked_used += 1
+        return index
+
+    def _grow_linked_region(self) -> None:
+        """Double the linked region (the paper enlarges the slab when exhausted)."""
+        additional = max(self.linked_region_capacity, 16)
+        new_total = self._keys.shape[0] + additional
+        for attribute, fill in (
+            ("_keys", 0),
+            ("_row_ids", 0),
+            ("_sizes", 0),
+            ("_max_keys", 0),
+            ("_next", NO_NEXT),
+        ):
+            old = getattr(self, attribute)
+            grown = np.full((new_total,) + old.shape[1:], fill, dtype=old.dtype)
+            grown[: old.shape[0]] = old
+            setattr(self, attribute, grown)
+
+    # ----------------------------------------------------------------- access
+
+    def node_size(self, index: int) -> int:
+        return int(self._sizes[index])
+
+    def node_max_key(self, index: int) -> int:
+        return int(self._max_keys[index])
+
+    def node_next(self, index: int) -> int:
+        return int(self._next[index])
+
+    def node_keys(self, index: int) -> np.ndarray:
+        """The occupied key slots of a node (a view, not a copy)."""
+        return self._keys[index, : self._sizes[index]]
+
+    def node_row_ids(self, index: int) -> np.ndarray:
+        """The occupied rowID slots of a node (a view, not a copy)."""
+        return self._row_ids[index, : self._sizes[index]]
+
+    def set_next(self, index: int, next_index: int) -> None:
+        self._next[index] = next_index
+
+    def set_max_key(self, index: int, max_key: int) -> None:
+        self._max_keys[index] = np.uint64(max_key)
+
+    def view(self, index: int) -> NodeView:
+        """Materialise a read-only snapshot of a node."""
+        return NodeView(
+            index=index,
+            keys=self.node_keys(index).copy(),
+            row_ids=self.node_row_ids(index).copy(),
+            max_key=self.node_max_key(index),
+            next_node=self.node_next(index),
+            size=self.node_size(index),
+        )
+
+    # ------------------------------------------------------------- mutations
+
+    def fill_node(
+        self, index: int, keys: np.ndarray, row_ids: np.ndarray, max_key: int
+    ) -> None:
+        """Bulk-fill a node with sorted keys (used during initial construction)."""
+        count = int(keys.shape[0])
+        if count > self.node_capacity:
+            raise ValueError("too many entries for one node")
+        self._keys[index, :count] = keys
+        self._row_ids[index, :count] = row_ids
+        self._sizes[index] = count
+        self._max_keys[index] = np.uint64(max_key)
+        self._next[index] = NO_NEXT
+
+    def insert_into_node(self, index: int, key: int, row_id: int) -> bool:
+        """Insert ``key`` into a node keeping it sorted; False when the node is full."""
+        size = int(self._sizes[index])
+        if size >= self.node_capacity:
+            return False
+        keys = self._keys[index]
+        position = int(np.searchsorted(keys[:size], np.asarray(key, dtype=self.key_dtype)))
+        keys[position + 1 : size + 1] = keys[position:size]
+        self._row_ids[index, position + 1 : size + 1] = self._row_ids[index, position:size]
+        keys[position] = key
+        self._row_ids[index, position] = row_id
+        self._sizes[index] = size + 1
+        return True
+
+    def delete_from_node(self, index: int, key: int) -> bool:
+        """Delete one occurrence of ``key`` from a node; False when not present."""
+        size = int(self._sizes[index])
+        keys = self._keys[index]
+        position = int(np.searchsorted(keys[:size], np.asarray(key, dtype=self.key_dtype)))
+        if position >= size or keys[position] != np.asarray(key, dtype=self.key_dtype):
+            return False
+        keys[position : size - 1] = keys[position + 1 : size]
+        self._row_ids[index, position : size - 1] = self._row_ids[index, position + 1 : size]
+        self._sizes[index] = size - 1
+        return True
+
+    def split_node(self, index: int) -> int:
+        """Split a full node, moving its upper half into a fresh linked node.
+
+        The new node inherits the old node's ``maxKey`` and its position in
+        the chain; the old node's largest remaining key becomes its new
+        ``maxKey``.  Returns the index of the new node.
+        """
+        size = int(self._sizes[index])
+        if size < 2:
+            raise ValueError("cannot split a node with fewer than two entries")
+        new_index = self.allocate_linked_node()
+        half = size // 2
+
+        moved_keys = self._keys[index, half:size].copy()
+        moved_row_ids = self._row_ids[index, half:size].copy()
+        self.fill_node(new_index, moved_keys, moved_row_ids, self.node_max_key(index))
+
+        self._sizes[index] = half
+        self._max_keys[index] = self._keys[index, half - 1].astype(np.uint64)
+        self._next[new_index] = self._next[index]
+        self._next[index] = new_index
+        return new_index
+
+    # ------------------------------------------------------------- traversal
+
+    def chain(self, head: int) -> Iterator[int]:
+        """Iterate over the node indices of a bucket's chain, head first."""
+        index = head
+        while index != NO_NEXT:
+            yield index
+            index = self.node_next(index)
+
+    def chain_entries(self, head: int) -> Tuple[np.ndarray, np.ndarray]:
+        """All keys and rowIDs of a chain, in sorted order."""
+        keys: List[np.ndarray] = []
+        row_ids: List[np.ndarray] = []
+        for index in self.chain(head):
+            keys.append(self.node_keys(index).copy())
+            row_ids.append(self.node_row_ids(index).copy())
+        if not keys:
+            return (
+                np.empty(0, dtype=self.key_dtype),
+                np.empty(0, dtype=np.uint32),
+            )
+        return np.concatenate(keys), np.concatenate(row_ids)
+
+    # ----------------------------------------------------------------- memory
+
+    def memory_footprint(self) -> MemoryFootprint:
+        """Device bytes of both slab regions (including unused reserved nodes)."""
+        footprint = MemoryFootprint()
+        footprint.add(
+            "representative_node_region", self.num_representative_nodes * self.node_bytes
+        )
+        footprint.add("linked_node_region", self.linked_region_capacity * self.node_bytes)
+        return footprint

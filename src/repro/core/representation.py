@@ -1,0 +1,80 @@
+"""Base class shared by the naive and optimized scene representations."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.core.bucketing import BucketedKeys
+from repro.core.casting import SceneCaster
+from repro.core.key_mapping import KeyMapping
+from repro.rtx.pipeline import RaytracingPipeline
+from repro.rtx.traversal import RayStats
+
+#: Sentinel returned by ``locate_bucket`` when the key lies outside the
+#: indexed key range (Algorithm 2, line 3).
+MISS = -1
+
+
+class SceneRepresentation(ABC):
+    """A strategy for materialising bucket representatives as triangles.
+
+    Subclasses build the triangles into the pipeline's vertex buffer at
+    construction time and implement the ray-firing sequence that maps a
+    lookup key to its bucketID.
+    """
+
+    def __init__(
+        self,
+        bucketed: BucketedKeys,
+        mapping: KeyMapping,
+        pipeline: RaytracingPipeline,
+    ) -> None:
+        self.bucketed = bucketed
+        self.mapping = mapping
+        self.pipeline = pipeline
+        self.num_buckets = bucketed.num_buckets
+
+        representatives = bucketed.representatives()
+        min_rep = int(representatives[0])
+        max_rep = int(representatives[-1])
+        #: True when representatives span more than one row (Algorithm 1, line 2).
+        self.multi_line = int(mapping.yz_of(min_rep)) != int(mapping.yz_of(max_rep))
+        #: True when representatives span more than one plane (line 3).
+        self.multi_plane = int(mapping.z_of(min_rep)) != int(mapping.z_of(max_rep))
+
+        self._build_scene()
+        self.pipeline.build_acceleration_structure()
+        self.caster = SceneCaster(pipeline, mapping)
+
+    # ------------------------------------------------------------------ hooks
+
+    @abstractmethod
+    def _build_scene(self) -> None:
+        """Write all representative (and marker) triangles into the vertex buffer."""
+
+    @abstractmethod
+    def locate_bucket(self, key: int, stats: Optional[RayStats] = None) -> int:
+        """Return the bucketID whose representative is the first one >= ``key``.
+
+        Returns :data:`MISS` when ``key`` is larger than the largest indexed
+        key.  ``stats`` accumulates the ray-traversal work of the lookup.
+        """
+
+    # ------------------------------------------------------------- shared API
+
+    @property
+    def min_representative(self) -> int:
+        return self.bucketed.min_representative
+
+    @property
+    def max_representative(self) -> int:
+        return self.bucketed.max_representative
+
+    def triangle_count(self) -> int:
+        """Number of triangles materialised in the scene."""
+        return self.pipeline.vertex_buffer.num_occupied
+
+    def memory_footprint_bytes(self) -> int:
+        """Device bytes of the vertex buffer plus the acceleration structure."""
+        return self.pipeline.memory_footprint_bytes()

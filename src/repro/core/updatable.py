@@ -1,0 +1,479 @@
+"""cgRXu: the node-based updatable variant of cgRX (Section IV of the paper).
+
+Each bucket is a linked list of fixed-size nodes.  The raytraced
+representative scene is built once over the bulk-loaded buckets and never
+touched again: inserts and deletes only modify the node chains, so the BVH is
+never refit and lookup performance does not deteriorate the way RX's does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import (
+    GpuIndex,
+    LookupResult,
+    RangeLookupResult,
+    UpdateResult,
+)
+from repro.core.bucketing import BucketedKeys
+from repro.core.config import CgRXuConfig, Representation
+from repro.core.key_mapping import KeyMapping
+from repro.core.naive import NaiveRepresentation
+from repro.core.nodes import NO_NEXT, NodeStorage
+from repro.core.optimized import OptimizedRepresentation
+from repro.core.representation import MISS
+from repro.gpu.accel import accel_build_stats, triangle_generation_stats
+from repro.gpu.cost_model import RT_NODE_RESIDUAL_BYTES, RT_TRIANGLE_RESIDUAL_BYTES
+from repro.gpu.device import RTX_4090, GpuDevice
+from repro.gpu.kernels import KernelStats
+from repro.gpu.memory import MemoryFootprint
+from repro.gpu.simt import divergence_factor
+from repro.gpu.sort import device_radix_sort
+from repro.rtx.bvh import BvhBuildConfig
+from repro.rtx.pipeline import RaytracingPipeline
+from repro.rtx.traversal import RayStats
+
+#: Number of per-lookup / per-bucket work samples used for divergence estimates.
+_DIVERGENCE_SAMPLE = 4096
+
+
+class CgRXuIndex(GpuIndex):
+    """Updatable coarse-granular raytraced index with node-based buckets."""
+
+    name = "cgRXu"
+    supports_point = True
+    supports_range = True
+    supports_64bit = True
+    supports_updates = True
+    supports_bulk_load = True
+    memory_class = "low"
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        row_ids: Optional[np.ndarray] = None,
+        config: Optional[CgRXuConfig] = None,
+        device: GpuDevice = RTX_4090,
+    ) -> None:
+        super().__init__(device)
+        self.config = config or CgRXuConfig()
+        self.name = self.config.describe()
+
+        self._key_dtype = np.uint32 if self.config.key_bits == 32 else np.uint64
+        keys = np.asarray(keys, dtype=self._key_dtype)
+        if row_ids is None:
+            row_ids = np.arange(keys.shape[0], dtype=np.uint32)
+        row_ids = np.asarray(row_ids, dtype=np.uint32)
+
+        self.mapping = KeyMapping.for_key_bits(
+            self.config.key_bits, scaled=self.config.scaled_mapping
+        )
+        self._bulk_load(keys, row_ids)
+
+    # -------------------------------------------------------------- bulk load
+
+    def _bulk_load(self, keys: np.ndarray, row_ids: np.ndarray) -> None:
+        """Initial construction: buckets of N/2 entries, one node per bucket."""
+        bucket_size = self.config.initial_bucket_size
+        self.bucketed = BucketedKeys(
+            keys, row_ids, bucket_size=bucket_size, key_bytes=self.config.key_bytes
+        )
+        self.num_buckets = self.bucketed.num_buckets
+        #: Index of the overflow bucket (keys larger than any bulk-loaded key).
+        self.overflow_bucket = self.num_buckets
+
+        self.pipeline = RaytracingPipeline(
+            bvh_config=BvhBuildConfig(max_leaf_size=self.config.bvh_leaf_size)
+        )
+        representation_cls = (
+            NaiveRepresentation
+            if self.config.representation is Representation.NAIVE
+            else OptimizedRepresentation
+        )
+        self.representation = representation_cls(self.bucketed, self.mapping, self.pipeline)
+
+        self.nodes = NodeStorage(
+            num_representative_nodes=self.num_buckets + 1,
+            node_capacity=self.config.node_capacity,
+            node_bytes=self.config.node_bytes,
+            key_dtype=self._key_dtype,
+        )
+        for bucket_id in range(self.num_buckets):
+            start, end = self.bucketed.bucket_bounds(bucket_id)
+            bucket_keys = self.bucketed.keys[start:end]
+            bucket_row_ids = self.bucketed.row_ids[start:end]
+            self.nodes.fill_node(bucket_id, bucket_keys, bucket_row_ids, int(bucket_keys[-1]))
+        # The overflow bucket catches keys beyond the bulk-loaded key range.
+        self.nodes.fill_node(
+            self.overflow_bucket,
+            np.empty(0, dtype=self._key_dtype),
+            np.empty(0, dtype=np.uint32),
+            int(np.iinfo(np.uint64).max),
+        )
+
+        #: Inclusive upper bound of every bucket, used to route update batches.
+        self._bucket_uppers = np.concatenate(
+            [
+                self.bucketed.representatives().astype(np.uint64),
+                np.asarray([np.iinfo(np.uint64).max], dtype=np.uint64),
+            ]
+        )
+
+        num_triangles = self.representation.triangle_count()
+        bvh_bytes = self.pipeline.bvh.memory_footprint_bytes()
+        self.build_stats = [
+            self.bucketed.sort_stats,
+            triangle_generation_stats(self.num_buckets, num_triangles),
+            accel_build_stats(num_triangles, bvh_bytes),
+            KernelStats(
+                name="cgrxu.node_fill",
+                threads=self.num_buckets,
+                bytes_read=len(self.bucketed) * (self.config.key_bytes + 4),
+                bytes_written=(self.num_buckets + 1) * self.config.node_bytes,
+                compute_ops=len(self.bucketed),
+            ),
+        ]
+
+    # ---------------------------------------------------------------- lookups
+
+    def _route_key(self, key: int, stats: Optional[RayStats]) -> int:
+        """BucketID responsible for ``key`` (the overflow bucket for out-of-range keys)."""
+        bucket = self.representation.locate_bucket(int(key), stats)
+        if bucket == MISS:
+            return self.overflow_bucket
+        return bucket
+
+    def _collect(self, bucket: int, key: int) -> Tuple[List[int], int, int]:
+        """Collect all rowIDs matching ``key`` starting at ``bucket``'s chain.
+
+        Mirrors the array-scan semantics of static cgRX: the search continues
+        across nodes (and, for duplicate groups hugging a bucket boundary,
+        into the next bucket) until the first key larger than the target is
+        seen.  Returns ``(row_ids, nodes_visited, entries_touched)``.
+        """
+        key_value = int(key)
+        row_ids: List[int] = []
+        nodes_visited = 0
+        entries_touched = 0
+
+        current_bucket = bucket
+        while current_bucket <= self.overflow_bucket:
+            saw_larger = False
+            chain_empty = True
+            for node in self.nodes.chain(current_bucket):
+                nodes_visited += 1
+                size = self.nodes.node_size(node)
+                if size:
+                    chain_empty = False
+                if self.nodes.node_max_key(node) < key_value and self.nodes.node_next(node) != NO_NEXT:
+                    continue
+                node_keys = self.nodes.node_keys(node)
+                target = np.asarray(key_value, dtype=self._key_dtype)
+                left = int(np.searchsorted(node_keys, target, side="left"))
+                right = int(np.searchsorted(node_keys, target, side="right"))
+                entries_touched += max(1, right - left)
+                if left < right:
+                    row_ids.extend(int(r) for r in self.nodes.node_row_ids(node)[left:right])
+                if right < size:
+                    saw_larger = True
+                    break
+            if saw_larger:
+                break
+            # The chain ended exactly at the target (or was empty): duplicates
+            # may continue in the next bucket.
+            if chain_empty or (row_ids and current_bucket < self.overflow_bucket):
+                current_bucket += 1
+                continue
+            break
+
+        return row_ids, nodes_visited, entries_touched
+
+    def point_lookup_batch(self, keys: np.ndarray) -> LookupResult:
+        """Batched point lookups: raytracing stage plus node-chain traversal."""
+        keys = np.asarray(keys, dtype=self._key_dtype)
+        num_lookups = keys.shape[0]
+
+        ray_stats = RayStats()
+        row_agg = np.full(num_lookups, -1, dtype=np.int64)
+        match_counts = np.zeros(num_lookups, dtype=np.int64)
+        total_nodes = 0
+        total_entries = 0
+        work_sample: List[int] = []
+        sample_every = max(1, num_lookups // _DIVERGENCE_SAMPLE)
+        previous_nodes = 0
+
+        for position, key in enumerate(keys):
+            bucket = self._route_key(int(key), ray_stats)
+            matches, nodes_visited, entries = self._collect(bucket, int(key))
+            total_nodes += nodes_visited
+            total_entries += entries
+            if matches:
+                row_agg[position] = sum(matches)
+                match_counts[position] = len(matches)
+            if position % sample_every == 0:
+                work_sample.append(ray_stats.nodes_visited - previous_nodes + nodes_visited)
+            previous_nodes = ray_stats.nodes_visited
+
+        stats = KernelStats(name="cgrxu.point_lookup", threads=num_lookups, launches=2)
+        stats.rays_cast = ray_stats.rays_cast
+        stats.bvh_node_visits = ray_stats.nodes_visited
+        stats.triangle_tests = ray_stats.triangle_tests
+        stats.bytes_read += ray_stats.nodes_visited * RT_NODE_RESIDUAL_BYTES
+        stats.bytes_read += ray_stats.triangle_tests * RT_TRIANGLE_RESIDUAL_BYTES
+        stats.bytes_read += total_nodes * self.config.node_bytes
+        stats.bytes_read += num_lookups * self.config.key_bytes
+        stats.bytes_written += num_lookups * 8
+        stats.compute_ops += total_entries + total_nodes * 4
+        stats.divergence = divergence_factor(work_sample)
+        stats.cache_hit_fraction = self.cost_model.cache_hit_fraction(
+            self.memory_footprint().total_bytes, self._unique_fraction(keys)
+        )
+        return LookupResult(row_ids=row_agg, match_counts=match_counts, stats=stats)
+
+    def range_lookup_batch(self, lows: np.ndarray, highs: np.ndarray) -> RangeLookupResult:
+        """Batched range lookups: locate the lower bound, then walk chains forward."""
+        lows = np.asarray(lows, dtype=self._key_dtype)
+        highs = np.asarray(highs, dtype=self._key_dtype)
+        if lows.shape != highs.shape:
+            raise ValueError("lows and highs must have the same shape")
+
+        ray_stats = RayStats()
+        results: List[np.ndarray] = []
+        total_nodes = 0
+        total_entries = 0
+
+        for low, high in zip(lows, highs):
+            low_value, high_value = int(low), int(high)
+            bucket = self._route_key(low_value, ray_stats)
+            collected: List[np.ndarray] = []
+            done = False
+            for current_bucket in range(bucket, self.overflow_bucket + 1):
+                for node in self.nodes.chain(current_bucket):
+                    total_nodes += 1
+                    node_keys = self.nodes.node_keys(node)
+                    size = node_keys.shape[0]
+                    if size == 0:
+                        continue
+                    left = int(
+                        np.searchsorted(node_keys, np.asarray(low_value, dtype=self._key_dtype), side="left")
+                    )
+                    right = int(
+                        np.searchsorted(node_keys, np.asarray(high_value, dtype=self._key_dtype), side="right")
+                    )
+                    total_entries += max(1, right - left)
+                    if left < right:
+                        collected.append(self.nodes.node_row_ids(node)[left:right].copy())
+                    if right < size:
+                        done = True
+                        break
+                if done:
+                    break
+            if collected:
+                results.append(np.concatenate(collected))
+            else:
+                results.append(np.empty(0, dtype=np.uint32))
+
+        stats = KernelStats(name="cgrxu.range_lookup", threads=lows.shape[0], launches=2)
+        stats.rays_cast = ray_stats.rays_cast
+        stats.bvh_node_visits = ray_stats.nodes_visited
+        stats.triangle_tests = ray_stats.triangle_tests
+        stats.bytes_read += ray_stats.nodes_visited * RT_NODE_RESIDUAL_BYTES
+        stats.bytes_read += ray_stats.triangle_tests * RT_TRIANGLE_RESIDUAL_BYTES
+        stats.bytes_read += total_nodes * self.config.node_bytes
+        stats.bytes_written += sum(r.shape[0] for r in results) * 4
+        stats.compute_ops += total_entries
+        stats.cache_hit_fraction = self.cost_model.cache_hit_fraction(
+            self.memory_footprint().total_bytes, self._unique_fraction(lows)
+        )
+        return RangeLookupResult(row_ids=results, stats=stats)
+
+    # ---------------------------------------------------------------- updates
+
+    def update_batch(
+        self,
+        insert_keys: Optional[np.ndarray] = None,
+        insert_row_ids: Optional[np.ndarray] = None,
+        delete_keys: Optional[np.ndarray] = None,
+    ) -> UpdateResult:
+        """Apply a batch of updates with one simulated thread per bucket.
+
+        Deletions are processed before insertions (freeing space may avoid
+        splits), and keys appearing in both halves of the batch cancel out, as
+        described in Section IV.
+        """
+        stats = KernelStats(name="cgrxu.update", launches=0)
+
+        insert_keys = (
+            np.asarray(insert_keys, dtype=self._key_dtype)
+            if insert_keys is not None
+            else np.empty(0, dtype=self._key_dtype)
+        )
+        delete_keys = (
+            np.asarray(delete_keys, dtype=self._key_dtype)
+            if delete_keys is not None
+            else np.empty(0, dtype=self._key_dtype)
+        )
+        if insert_row_ids is None:
+            insert_row_ids = np.arange(insert_keys.shape[0], dtype=np.uint32)
+        insert_row_ids = np.asarray(insert_row_ids, dtype=np.uint32)
+
+        insert_keys, insert_row_ids, insert_sort = device_radix_sort(insert_keys, insert_row_ids)
+        delete_keys, _, delete_sort = device_radix_sort(delete_keys)
+        stats.merge(insert_sort)
+        stats.merge(delete_sort)
+
+        insert_keys, insert_row_ids, delete_keys = self._cancel_opposing(
+            insert_keys, insert_row_ids, delete_keys
+        )
+
+        uppers = self._bucket_uppers
+        lowers = np.concatenate([[np.uint64(0)], uppers[:-1] + np.uint64(1)])
+
+        inserted = 0
+        deleted = 0
+        per_bucket_work: List[int] = []
+        apply_stats = KernelStats(
+            name="cgrxu.apply", threads=self.overflow_bucket + 1, launches=1
+        )
+
+        for bucket in range(self.overflow_bucket + 1):
+            low = int(lowers[bucket])
+            high = int(uppers[bucket])
+            delete_lo, delete_hi = self._batch_range(delete_keys, low, high)
+            bucket_deletes = delete_keys[delete_lo:delete_hi]
+            bucket_inserts_lo, bucket_inserts_hi = self._batch_range(insert_keys, low, high)
+            work = 0
+            # Two binary searches on the sorted batch identify this thread's slice.
+            apply_stats.compute_ops += 2 * max(1, int(np.log2(max(insert_keys.shape[0], 2))))
+
+            for key in bucket_deletes:
+                removed, visited = self._delete_one(bucket, int(key))
+                deleted += int(removed)
+                work += visited
+                apply_stats.bytes_read += visited * self.config.node_bytes
+                apply_stats.bytes_written += self.config.node_bytes // 2
+
+            for offset in range(bucket_inserts_lo, bucket_inserts_hi):
+                visited = self._insert_one(
+                    bucket, int(insert_keys[offset]), int(insert_row_ids[offset])
+                )
+                inserted += 1
+                work += visited
+                apply_stats.bytes_read += visited * self.config.node_bytes
+                apply_stats.bytes_written += self.config.node_bytes // 2
+
+            if work:
+                per_bucket_work.append(work)
+
+        apply_stats.divergence = divergence_factor(per_bucket_work)
+        stats.merge(apply_stats)
+        return UpdateResult(inserted=inserted, deleted=deleted, stats=stats, rebuilt=False)
+
+    def _cancel_opposing(
+        self,
+        insert_keys: np.ndarray,
+        insert_row_ids: np.ndarray,
+        delete_keys: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cancel keys that appear both as insert and delete (one-for-one)."""
+        if insert_keys.size == 0 or delete_keys.size == 0:
+            return insert_keys, insert_row_ids, delete_keys
+        keep_insert = np.ones(insert_keys.shape[0], dtype=bool)
+        keep_delete = np.ones(delete_keys.shape[0], dtype=bool)
+        insert_position = 0
+        for delete_position, key in enumerate(delete_keys):
+            insert_position = int(
+                np.searchsorted(insert_keys, key, side="left")
+            )
+            while (
+                insert_position < insert_keys.shape[0]
+                and insert_keys[insert_position] == key
+                and not keep_insert[insert_position]
+            ):
+                insert_position += 1
+            if (
+                insert_position < insert_keys.shape[0]
+                and insert_keys[insert_position] == key
+            ):
+                keep_insert[insert_position] = False
+                keep_delete[delete_position] = False
+        return (
+            insert_keys[keep_insert],
+            insert_row_ids[keep_insert],
+            delete_keys[keep_delete],
+        )
+
+    def _batch_range(self, sorted_keys: np.ndarray, low: int, high: int) -> Tuple[int, int]:
+        """Index range of a sorted batch falling into a bucket's ``[low, high]`` range.
+
+        Bounds are clamped to the key dtype so the overflow bucket (whose
+        upper bound is the uint64 sentinel) works for 32-bit keys too.
+        """
+        if sorted_keys.size == 0:
+            return 0, 0
+        dtype_max = int(np.iinfo(self._key_dtype).max)
+        if low > dtype_max:
+            return 0, 0
+        low_key = np.asarray(low, dtype=self._key_dtype)
+        high_key = np.asarray(min(high, dtype_max), dtype=self._key_dtype)
+        lo = int(np.searchsorted(sorted_keys, low_key, side="left"))
+        hi = int(np.searchsorted(sorted_keys, high_key, side="right"))
+        return lo, hi
+
+    def _delete_one(self, bucket: int, key: int) -> Tuple[bool, int]:
+        """Delete one occurrence of ``key`` from the bucket's chain."""
+        visited = 0
+        for node in self.nodes.chain(bucket):
+            visited += 1
+            if self.nodes.node_max_key(node) < key and self.nodes.node_next(node) != NO_NEXT:
+                continue
+            if self.nodes.delete_from_node(node, key):
+                return True, visited
+            if self.nodes.node_max_key(node) >= key:
+                return False, visited
+        return False, visited
+
+    def _insert_one(self, bucket: int, key: int, row_id: int) -> int:
+        """Insert ``key`` into the bucket's chain, splitting a full node if needed."""
+        visited = 0
+        target_node = bucket
+        for node in self.nodes.chain(bucket):
+            visited += 1
+            target_node = node
+            if self.nodes.node_max_key(node) >= key:
+                break
+        if not self.nodes.insert_into_node(target_node, key, row_id):
+            new_node = self.nodes.split_node(target_node)
+            visited += 1
+            if key > self.nodes.node_max_key(target_node):
+                target_node = new_node
+            inserted = self.nodes.insert_into_node(target_node, key, row_id)
+            assert inserted, "insert after split must succeed"
+        return visited
+
+    # ----------------------------------------------------------------- memory
+
+    def memory_footprint(self) -> MemoryFootprint:
+        """Node regions + vertex buffer + acceleration structure."""
+        footprint = self.nodes.memory_footprint()
+        footprint.add("vertex_buffer", self.pipeline.vertex_buffer.memory_footprint_bytes())
+        footprint.add("bvh", self.pipeline.bvh.memory_footprint_bytes())
+        return footprint
+
+    # ------------------------------------------------------------ conveniences
+
+    def __len__(self) -> int:
+        """Current number of indexed entries (bulk load plus net updates)."""
+        total = 0
+        for bucket in range(self.overflow_bucket + 1):
+            for node in self.nodes.chain(bucket):
+                total += self.nodes.node_size(node)
+        return total
+
+    @property
+    def num_triangles(self) -> int:
+        """Number of triangles materialised in the 3D scene."""
+        return self.representation.triangle_count()

@@ -1,0 +1,40 @@
+"""GPU execution model: devices, memory accounting, SIMT batching and the cost model.
+
+The real evaluation ran on an RTX 4090 (and an RTX A6000 for the robustness
+study).  This package replaces the hardware with an analytical model: every
+index operation produces a :class:`~repro.gpu.kernels.KernelStats` record of
+the work it performed (bytes moved, BVH nodes visited, triangles tested,
+comparisons executed, threads launched) and
+:class:`~repro.gpu.cost_model.CostModel` converts that work into simulated
+milliseconds for a given device.  Absolute times are synthetic; relative
+behaviour (who wins, where crossovers happen) follows from the counted work.
+"""
+
+from repro.gpu.device import RTX_4090, RTX_A6000, GpuDevice
+from repro.gpu.kernels import KernelStats
+from repro.gpu.memory import MemoryFootprint
+from repro.gpu.cost_model import CostModel
+from repro.gpu.simt import (
+    COOPERATIVE_GROUP_SIZE,
+    WARP_SIZE,
+    cooperative_scan_steps,
+    divergence_factor,
+    warps_for_threads,
+)
+from repro.gpu.sort import device_radix_sort, radix_sort_stats
+
+__all__ = [
+    "GpuDevice",
+    "RTX_4090",
+    "RTX_A6000",
+    "KernelStats",
+    "MemoryFootprint",
+    "CostModel",
+    "WARP_SIZE",
+    "COOPERATIVE_GROUP_SIZE",
+    "warps_for_threads",
+    "divergence_factor",
+    "cooperative_scan_steps",
+    "device_radix_sort",
+    "radix_sort_stats",
+]

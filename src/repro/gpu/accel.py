@@ -1,0 +1,66 @@
+"""Cost accounting for acceleration-structure builds and refits.
+
+``optixAccelBuild`` is a black box on real hardware; what matters for the
+paper's experiments is that its cost scales with the number of triangles and
+that a *refit* is roughly an order of magnitude cheaper than a full build
+(which is why RX is tempted into the refit path for updates, with the known
+consequences for lookup performance).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.kernels import KernelStats
+
+#: Bytes of one triangle in the vertex buffer (nine 4-byte floats).
+TRIANGLE_BYTES = 36
+
+#: Compute operations per triangle of a full BVH build (sorting by Morton
+#: code, hierarchy emission, bounding-box fitting).
+BUILD_OPS_PER_TRIANGLE = 64
+
+#: Number of passes over the triangle data a full builder makes (Morton-code
+#: sort, radix passes, hierarchy emission, fitting, compaction).  BVH builds
+#: are memory bound; this constant puts the simulated build throughput in the
+#: hundreds-of-millions-of-triangles-per-second regime of ``optixAccelBuild``.
+BUILD_PASSES = 15
+
+#: Compute operations per triangle of a refit (a bottom-up bounding-box pass).
+REFIT_OPS_PER_TRIANGLE = 6
+
+
+def accel_build_stats(num_triangles: int, output_bytes: int) -> KernelStats:
+    """Work of a full acceleration-structure build over ``num_triangles``."""
+    num_triangles = int(num_triangles)
+    return KernelStats(
+        name="optix.accel_build",
+        threads=max(1, num_triangles),
+        bytes_read=num_triangles * TRIANGLE_BYTES * BUILD_PASSES,
+        bytes_written=num_triangles * TRIANGLE_BYTES * BUILD_PASSES + int(output_bytes),
+        compute_ops=num_triangles * BUILD_OPS_PER_TRIANGLE,
+        launches=BUILD_PASSES,
+    )
+
+
+def accel_refit_stats(num_triangles: int, structure_bytes: int) -> KernelStats:
+    """Work of a refit-only update of an existing acceleration structure."""
+    num_triangles = int(num_triangles)
+    return KernelStats(
+        name="optix.accel_refit",
+        threads=max(1, num_triangles),
+        bytes_read=num_triangles * TRIANGLE_BYTES + int(structure_bytes),
+        bytes_written=int(structure_bytes),
+        compute_ops=num_triangles * REFIT_OPS_PER_TRIANGLE,
+        launches=1,
+    )
+
+
+def triangle_generation_stats(num_keys_read: int, num_triangles_written: int) -> KernelStats:
+    """Work of the kernel that converts keys into vertex-buffer triangles."""
+    return KernelStats(
+        name="triangle_generation",
+        threads=max(1, int(num_triangles_written)),
+        bytes_read=int(num_keys_read) * 8,
+        bytes_written=int(num_triangles_written) * TRIANGLE_BYTES,
+        compute_ops=int(num_triangles_written) * 8,
+        launches=1,
+    )

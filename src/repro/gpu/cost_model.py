@@ -1,0 +1,136 @@
+"""Analytical cost model converting kernel work into simulated GPU time.
+
+The model is intentionally simple and transparent:
+
+* global-memory time   = effective bytes / memory bandwidth,
+* RT-core time         = node tests / node throughput + triangle tests /
+  triangle throughput,
+* compute time         = operations / compute throughput,
+* the kernel time is the *maximum* of the three (the bottleneck resource),
+  multiplied by the divergence factor, divided by the occupancy implied by the
+  batch size, plus a fixed launch overhead per kernel.
+
+Cache effects (which is what makes skewed lookups faster, Figure 17) are
+modelled by discounting the fraction of memory traffic that hits in L2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.gpu.device import RTX_4090, GpuDevice
+from repro.gpu.kernels import KernelStats
+from repro.gpu.simt import occupancy
+
+#: Cached bytes are not free: they still occupy L2 bandwidth.  This constant
+#: is the relative cost of an L2 hit compared to a DRAM access.
+L2_HIT_RELATIVE_COST = 0.15
+
+#: Residual DRAM traffic per BVH-node visit.  RT cores traverse a compressed
+#: BVH through their own caches, so only a fraction of the node shows up as
+#: global-memory traffic; the traversal itself is charged to the RT resource.
+RT_NODE_RESIDUAL_BYTES = 8
+
+#: Residual DRAM traffic per ray/triangle intersection test.
+RT_TRIANGLE_RESIDUAL_BYTES = 12
+
+#: Effective DRAM traffic of an uncoalesced random access (binary-search
+#: probe, hash probe).  Scattered accesses fetch a full L2 cache line and pay
+#: DRAM overfetch, so the effective cost is far above the few bytes actually
+#: consumed; 128 bytes per probe matches the line granularity of the target
+#: GPUs and is what makes pointer-chasing structures (binary search over a
+#: huge array, long probe chains) expensive relative to RT-core traversals.
+UNCOALESCED_ACCESS_BYTES = 128
+
+#: Time (in multiples of a DRAM access) a fully divergent warp wastes per
+#: synchronisation point; folded into the divergence multiplier by callers.
+MIN_OCCUPANCY = 1.0 / 4096.0
+
+
+@dataclass
+class CostBreakdown:
+    """Per-resource timing of a kernel, in milliseconds."""
+
+    memory_ms: float = 0.0
+    rt_ms: float = 0.0
+    compute_ms: float = 0.0
+    launch_ms: float = 0.0
+    total_ms: float = 0.0
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the dominating resource."""
+        candidates = {
+            "memory": self.memory_ms,
+            "rt": self.rt_ms,
+            "compute": self.compute_ms,
+        }
+        return max(candidates, key=candidates.get)
+
+
+class CostModel:
+    """Converts :class:`KernelStats` into simulated milliseconds for a device."""
+
+    def __init__(self, device: GpuDevice = RTX_4090) -> None:
+        self.device = device
+
+    def breakdown(self, stats: KernelStats) -> CostBreakdown:
+        """Detailed per-resource timing for one kernel record."""
+        device = self.device
+
+        cache_hit = min(max(stats.cache_hit_fraction, 0.0), 1.0)
+        effective_bytes = stats.total_bytes * (
+            (1.0 - cache_hit) + cache_hit * L2_HIT_RELATIVE_COST
+        )
+        memory_seconds = effective_bytes / device.memory_bandwidth
+
+        rt_seconds = (
+            stats.bvh_node_visits / device.rt_node_tests_per_second
+            + stats.triangle_tests / device.rt_triangle_tests_per_second
+        )
+        compute_seconds = stats.compute_ops / device.compute_ops_per_second
+
+        utilisation = max(occupancy(stats.threads, device.saturation_threads), MIN_OCCUPANCY)
+        divergence = max(stats.divergence, 1.0)
+
+        bottleneck_seconds = max(memory_seconds, rt_seconds, compute_seconds)
+        busy_seconds = bottleneck_seconds * divergence / utilisation
+        launch_ms = device.kernel_launch_overhead_ms * max(stats.launches, 1)
+        total_ms = busy_seconds * 1e3 + launch_ms
+
+        return CostBreakdown(
+            memory_ms=memory_seconds * 1e3,
+            rt_ms=rt_seconds * 1e3,
+            compute_ms=compute_seconds * 1e3,
+            launch_ms=launch_ms,
+            total_ms=total_ms,
+        )
+
+    def kernel_time_ms(self, stats: KernelStats) -> float:
+        """Simulated wall-clock time of one kernel record in milliseconds."""
+        return self.breakdown(stats).total_ms
+
+    def total_time_ms(self, parts: Iterable[KernelStats]) -> float:
+        """Sum of the simulated times of several sequential kernels."""
+        return sum(self.kernel_time_ms(part) for part in parts)
+
+    def throughput_per_second(self, stats: KernelStats, operations: int) -> float:
+        """Operations (e.g. lookups) per second implied by a kernel record."""
+        time_ms = self.kernel_time_ms(stats)
+        if time_ms <= 0.0:
+            return float("inf")
+        return operations / (time_ms / 1e3)
+
+    def cache_hit_fraction(self, working_set_bytes: int, unique_fraction: float = 1.0) -> float:
+        """Estimate the L2 hit fraction for a batch touching ``working_set_bytes``.
+
+        ``unique_fraction`` expresses lookup skew: a Zipf-skewed batch touches
+        only a fraction of the distinct entries a uniform batch would, so its
+        effective working set shrinks and more of it stays cache-resident.
+        """
+        unique_fraction = min(max(unique_fraction, 0.0), 1.0)
+        effective = max(working_set_bytes * unique_fraction, 1.0)
+        resident = min(1.0, self.device.l2_cache_bytes / effective)
+        # Even a fully resident working set pays for the cold first access.
+        return max(0.0, min(0.95, resident * 0.95))

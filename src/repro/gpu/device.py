@@ -1,0 +1,82 @@
+"""Device descriptions for the GPUs used in the paper's evaluation.
+
+The numbers are public spec-sheet values (memory bandwidth, SM count, VRAM)
+plus calibration constants for the analytical cost model (per-operation RT
+traversal throughput, compute throughput, kernel launch overhead, the batch
+size at which the device saturates).  The calibration constants are not meant
+to reproduce absolute milliseconds from the paper — they only need to keep
+the *relative* cost of memory traffic, RT work and compute in a realistic
+regime so the experiment shapes carry over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuDevice:
+    """Static properties of a simulated GPU."""
+
+    name: str
+    #: Total device memory in bytes.
+    vram_bytes: int
+    #: Peak global-memory bandwidth in bytes per second.
+    memory_bandwidth: float
+    #: Number of streaming multiprocessors.
+    sm_count: int
+    #: Number of dedicated raytracing cores.
+    rt_core_count: int
+    #: Aggregate BVH-node (AABB) tests the RT cores can perform per second.
+    rt_node_tests_per_second: float
+    #: Aggregate ray/triangle intersection tests per second.
+    rt_triangle_tests_per_second: float
+    #: Simple integer/comparison operations per second (all SMs combined).
+    compute_ops_per_second: float
+    #: Fixed overhead per kernel launch in milliseconds.
+    kernel_launch_overhead_ms: float
+    #: Number of concurrently resident lookup threads needed to saturate the
+    #: device; smaller batches pay an underutilisation penalty (Figure 15).
+    saturation_threads: int
+    #: Size of the L2 cache in bytes (drives the benefit of skewed lookups).
+    l2_cache_bytes: int
+
+    @property
+    def vram_gib(self) -> float:
+        """Device memory in GiB."""
+        return self.vram_bytes / float(1 << 30)
+
+    def fits_in_memory(self, footprint_bytes: int) -> bool:
+        """Whether a structure of ``footprint_bytes`` fits into device memory."""
+        return footprint_bytes <= self.vram_bytes
+
+
+#: NVIDIA GeForce RTX 4090 (Ada Lovelace), the primary evaluation device.
+RTX_4090 = GpuDevice(
+    name="NVIDIA GeForce RTX 4090",
+    vram_bytes=24 * (1 << 30),
+    memory_bandwidth=1008e9,
+    sm_count=128,
+    rt_core_count=128,
+    rt_node_tests_per_second=180e9,
+    rt_triangle_tests_per_second=95e9,
+    compute_ops_per_second=82e12,
+    kernel_launch_overhead_ms=0.004,
+    saturation_threads=1 << 15,
+    l2_cache_bytes=72 * (1 << 20),
+)
+
+#: NVIDIA RTX A6000 (Ampere), used for the bucket-size robustness study.
+RTX_A6000 = GpuDevice(
+    name="NVIDIA RTX A6000",
+    vram_bytes=48 * (1 << 30),
+    memory_bandwidth=768e9,
+    sm_count=84,
+    rt_core_count=84,
+    rt_node_tests_per_second=110e9,
+    rt_triangle_tests_per_second=58e9,
+    compute_ops_per_second=39e12,
+    kernel_launch_overhead_ms=0.004,
+    saturation_threads=1 << 15,
+    l2_cache_bytes=6 * (1 << 20),
+)

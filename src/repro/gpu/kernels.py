@@ -1,0 +1,90 @@
+"""Kernel work descriptions.
+
+Every operation an index performs — a batch of point lookups, a range scan, a
+sort, a BVH build — is summarised as a :class:`KernelStats` record: how many
+threads ran, how many bytes they moved, how much RT-core work and how much
+plain compute they did, and how divergent they were.  The cost model turns one
+of these records into simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+
+@dataclass
+class KernelStats:
+    """Work performed by one (simulated) kernel launch."""
+
+    #: Human-readable label, e.g. ``"cgrx.point_lookup"``.
+    name: str = "kernel"
+    #: Number of logical threads (usually one per lookup, or one per bucket).
+    threads: int = 0
+    #: Bytes read from global memory.
+    bytes_read: int = 0
+    #: Bytes written to global memory.
+    bytes_written: int = 0
+    #: Bounding-volume (AABB) tests executed by the RT cores.
+    bvh_node_visits: int = 0
+    #: Ray/triangle intersection tests executed by the RT cores.
+    triangle_tests: int = 0
+    #: Rays fired (used for reporting, not directly for time).
+    rays_cast: int = 0
+    #: Plain compute operations (comparisons, address arithmetic, hashing).
+    compute_ops: int = 0
+    #: Multiplier >= 1 describing warp divergence / synchronisation pressure.
+    divergence: float = 1.0
+    #: Fraction of global-memory traffic served by cache (0 = none, 1 = all).
+    cache_hit_fraction: float = 0.0
+    #: Number of separate kernel launches this record aggregates.
+    launches: int = 1
+
+    @property
+    def total_bytes(self) -> int:
+        """Total global-memory traffic."""
+        return self.bytes_read + self.bytes_written
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        """Accumulate ``other`` into ``self`` (weighted for divergence/cache) and return self."""
+        total_bytes = self.total_bytes + other.total_bytes
+        if total_bytes > 0:
+            self.cache_hit_fraction = (
+                self.cache_hit_fraction * self.total_bytes
+                + other.cache_hit_fraction * other.total_bytes
+            ) / total_bytes
+        self.divergence = max(self.divergence, other.divergence)
+        self.threads = max(self.threads, other.threads)
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.bvh_node_visits += other.bvh_node_visits
+        self.triangle_tests += other.triangle_tests
+        self.rays_cast += other.rays_cast
+        self.compute_ops += other.compute_ops
+        self.launches += other.launches
+        return self
+
+    def copy(self) -> "KernelStats":
+        return KernelStats(
+            name=self.name,
+            threads=self.threads,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            bvh_node_visits=self.bvh_node_visits,
+            triangle_tests=self.triangle_tests,
+            rays_cast=self.rays_cast,
+            compute_ops=self.compute_ops,
+            divergence=self.divergence,
+            cache_hit_fraction=self.cache_hit_fraction,
+            launches=self.launches,
+        )
+
+
+def combine(name: str, parts: Iterable[KernelStats]) -> KernelStats:
+    """Aggregate several kernel records into one, preserving total work."""
+    result = KernelStats(name=name, launches=0)
+    for part in parts:
+        result.merge(part)
+    if result.launches == 0:
+        result.launches = 1
+    return result

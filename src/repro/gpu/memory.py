@@ -1,0 +1,84 @@
+"""Device memory footprint accounting.
+
+Figures 12a/13a of the paper compare the *permanent* device memory footprint
+of every index.  :class:`MemoryFootprint` tracks the footprint as a set of
+named components (vertex buffer, BVH, key-rowID array, node regions, hash
+table slots, ...) so that tests and benchmarks can both report the total and
+inspect where the bytes come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+GIB = float(1 << 30)
+MIB = float(1 << 20)
+
+
+@dataclass
+class MemoryFootprint:
+    """A named breakdown of device bytes."""
+
+    components: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, num_bytes: int) -> "MemoryFootprint":
+        """Add ``num_bytes`` to component ``name`` (creating it if necessary)."""
+        if num_bytes < 0:
+            raise ValueError("component sizes must be non-negative")
+        self.components[name] = self.components.get(name, 0) + int(num_bytes)
+        return self
+
+    def set(self, name: str, num_bytes: int) -> "MemoryFootprint":
+        """Set component ``name`` to exactly ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError("component sizes must be non-negative")
+        self.components[name] = int(num_bytes)
+        return self
+
+    def remove(self, name: str) -> None:
+        """Drop component ``name`` if present."""
+        self.components.pop(name, None)
+
+    def get(self, name: str) -> int:
+        """Bytes of component ``name`` (0 if absent)."""
+        return self.components.get(name, 0)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total device bytes across all components."""
+        return sum(self.components.values())
+
+    @property
+    def total_gib(self) -> float:
+        """Total footprint in GiB."""
+        return self.total_bytes / GIB
+
+    @property
+    def total_mib(self) -> float:
+        """Total footprint in MiB."""
+        return self.total_bytes / MIB
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self.components.items()))
+
+    def merged_with(self, other: "MemoryFootprint") -> "MemoryFootprint":
+        """Return a new footprint combining both operands."""
+        merged = MemoryFootprint(dict(self.components))
+        for name, num_bytes in other.components.items():
+            merged.add(name, num_bytes)
+        return merged
+
+    def describe(self) -> str:
+        """Human-readable multi-line breakdown."""
+        lines = [f"total: {self.total_bytes} B ({self.total_mib:.2f} MiB)"]
+        for name, num_bytes in self:
+            lines.append(f"  {name}: {num_bytes} B ({num_bytes / MIB:.2f} MiB)")
+        return "\n".join(lines)
+
+
+def array_bytes(length: int, element_bytes: int) -> int:
+    """Bytes of a dense device array of ``length`` elements."""
+    if length < 0 or element_bytes < 0:
+        raise ValueError("length and element size must be non-negative")
+    return int(length) * int(element_bytes)

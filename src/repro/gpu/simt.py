@@ -1,0 +1,79 @@
+"""SIMT execution helpers: warps, cooperative groups and divergence estimates.
+
+The paper's indexes all use batch execution where each lookup is handled by a
+single thread (RX, cgRX ray stage, SA, HT) or by a cooperative group of 16
+threads (B+ traversal, cgRX/B+ bucket/leaf scans).  The helpers here express
+those execution patterns as numbers the cost model understands.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Threads per warp on all NVIDIA GPUs relevant to the paper.
+WARP_SIZE = 32
+
+#: Cooperative group size used by the B+-tree traversal and by cgRX's bucket
+#: scan kernel ("a separate CUDA kernel to spawn a group of 16 threads per
+#: lookup").
+COOPERATIVE_GROUP_SIZE = 16
+
+
+def warps_for_threads(threads: int) -> int:
+    """Number of warps needed to run ``threads`` logical threads."""
+    if threads <= 0:
+        return 0
+    return math.ceil(threads / WARP_SIZE)
+
+
+def cooperative_scan_steps(elements: int, group_size: int = COOPERATIVE_GROUP_SIZE) -> int:
+    """Number of group-wide steps to scan ``elements`` contiguous entries.
+
+    A cooperative group loads ``group_size`` neighbouring entries per step in
+    a coalesced fashion, which is why cgRX and B+ scan buckets/leaves quickly.
+    """
+    if elements <= 0:
+        return 0
+    return math.ceil(elements / group_size)
+
+
+#: Fraction of the raw warp-pacing imbalance that actually shows up as lost
+#: time.  The hardware hides most of it by switching to other resident warps,
+#: so only part of the imbalance translates into a slowdown.
+DIVERGENCE_EXPOSURE = 0.35
+
+
+def divergence_factor(per_thread_work: "list[int] | tuple[int, ...]") -> float:
+    """Estimate the warp-divergence penalty of a batch.
+
+    SIMT execution is paced by the slowest thread of each warp.  Given the
+    per-thread work of a (sample of a) batch, the raw imbalance is the ratio
+    between warp-maximum-paced cost and mean-paced cost; the returned factor
+    exposes only :data:`DIVERGENCE_EXPOSURE` of it (latency hiding).
+    """
+    work = [max(int(w), 0) for w in per_thread_work]
+    if not work:
+        return 1.0
+    total = sum(work)
+    if total == 0:
+        return 1.0
+    paced = 0
+    for start in range(0, len(work), WARP_SIZE):
+        chunk = work[start : start + WARP_SIZE]
+        paced += max(chunk) * len(chunk)
+    raw = max(1.0, paced / total)
+    return 1.0 + (raw - 1.0) * DIVERGENCE_EXPOSURE
+
+
+def occupancy(threads: int, saturation_threads: int) -> float:
+    """Fraction of the device kept busy by a batch of ``threads`` lookups.
+
+    Below the saturation point the device is underutilised and the effective
+    throughput scales down linearly (Figure 15); above it, adding more
+    lookups does not make each one cheaper.
+    """
+    if threads <= 0:
+        return 0.0
+    if saturation_threads <= 0:
+        return 1.0
+    return min(1.0, threads / float(saturation_threads))

@@ -1,0 +1,364 @@
+"""Geometric primitives for the raytracing substrate.
+
+Triangles, rays, axis-aligned bounding boxes (AABBs) and the intersection
+routines between them.  All coordinates are stored as ``float32`` to mirror
+the precision constraints of the RT hardware: the paper notes that the key
+mapping is limited to 23 bits per dimension precisely because triangle
+vertices are 32-bit floats.
+
+Triangles created by :func:`make_key_triangle` are small and tilted so that
+their plane is not parallel to any coordinate axis.  This means a single
+triangle centred on a grid point can be intersected by rays travelling along
+the +x, +y and +z axes alike, which is how the index fires its lookup rays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Half extent of the triangles materialised for keys.  Grid points are one
+#: unit apart, so any value well below 0.5 keeps neighbouring triangles
+#: disjoint.
+TRIANGLE_HALF_EXTENT = 0.125
+
+#: Numerical tolerance used by the intersection routines.
+EPSILON = 1e-7
+
+#: Bytes used to store a single triangle in the vertex buffer: nine 4-byte
+#: floats, exactly as in the paper (36 B per key for RX).
+TRIANGLE_BYTES = 9 * 4
+
+
+@dataclass
+class Aabb:
+    """An axis-aligned bounding box described by its minimum and maximum corner."""
+
+    minimum: np.ndarray
+    maximum: np.ndarray
+
+    @staticmethod
+    def empty() -> "Aabb":
+        """Return a degenerate box that is the identity element for :meth:`union`."""
+        return Aabb(
+            minimum=np.full(3, np.inf, dtype=np.float32),
+            maximum=np.full(3, -np.inf, dtype=np.float32),
+        )
+
+    @staticmethod
+    def from_points(points: np.ndarray) -> "Aabb":
+        """Build the tightest box containing ``points`` (an ``(n, 3)`` array)."""
+        pts = np.asarray(points, dtype=np.float32).reshape(-1, 3)
+        return Aabb(minimum=pts.min(axis=0), maximum=pts.max(axis=0))
+
+    def union(self, other: "Aabb") -> "Aabb":
+        """Return the smallest box containing both ``self`` and ``other``."""
+        return Aabb(
+            minimum=np.minimum(self.minimum, other.minimum),
+            maximum=np.maximum(self.maximum, other.maximum),
+        )
+
+    def grow_to_contain(self, point: np.ndarray) -> "Aabb":
+        """Return a box grown so that it also contains ``point``."""
+        point = np.asarray(point, dtype=np.float32)
+        return Aabb(
+            minimum=np.minimum(self.minimum, point),
+            maximum=np.maximum(self.maximum, point),
+        )
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """Check whether ``point`` lies inside (or on the boundary of) the box."""
+        point = np.asarray(point, dtype=np.float32)
+        return bool(np.all(point >= self.minimum) and np.all(point <= self.maximum))
+
+    def overlaps(self, other: "Aabb") -> bool:
+        """Check whether this box and ``other`` share any volume."""
+        return bool(
+            np.all(self.minimum <= other.maximum) and np.all(self.maximum >= other.minimum)
+        )
+
+    @property
+    def extent(self) -> np.ndarray:
+        """Edge lengths along each axis."""
+        return self.maximum - self.minimum
+
+    @property
+    def centre(self) -> np.ndarray:
+        """Geometric centre of the box."""
+        return (self.maximum + self.minimum) * 0.5
+
+    def surface_area(self) -> float:
+        """Surface area, the quantity minimised by SAH-style BVH builders."""
+        if np.any(self.maximum < self.minimum):
+            return 0.0
+        dx, dy, dz = (self.maximum - self.minimum).tolist()
+        return float(2.0 * (dx * dy + dy * dz + dz * dx))
+
+    def is_empty(self) -> bool:
+        """True for the degenerate box returned by :meth:`empty`."""
+        return bool(np.any(self.maximum < self.minimum))
+
+
+@dataclass
+class Triangle:
+    """A single triangle with an explicit winding order.
+
+    The winding order (the order in which ``v0``, ``v1``, ``v2`` are stored)
+    determines which side is the *front* face.  The optimised cgRX
+    representation flips this order to signal "this representative is alone in
+    its row" to the lookup procedure (Section III-B of the paper).
+    """
+
+    v0: np.ndarray
+    v1: np.ndarray
+    v2: np.ndarray
+    primitive_index: int = 0
+
+    def vertices(self) -> np.ndarray:
+        """Return the vertices as a ``(3, 3)`` array."""
+        return np.stack([self.v0, self.v1, self.v2]).astype(np.float32)
+
+    def aabb(self) -> Aabb:
+        """Bounding box of the triangle."""
+        return Aabb.from_points(self.vertices())
+
+    def centroid(self) -> np.ndarray:
+        """Centroid (mean of the three corner points)."""
+        return self.vertices().mean(axis=0)
+
+    def geometric_normal(self) -> np.ndarray:
+        """Unnormalised geometric normal following the winding order."""
+        return np.cross(self.v1 - self.v0, self.v2 - self.v0)
+
+    def flipped(self) -> "Triangle":
+        """Return a copy with inverted winding order (front and back swapped)."""
+        return Triangle(
+            v0=self.v0.copy(),
+            v1=self.v2.copy(),
+            v2=self.v1.copy(),
+            primitive_index=self.primitive_index,
+        )
+
+
+@dataclass
+class Ray:
+    """A ray defined by origin, direction and the parametric interval [tmin, tmax].
+
+    Limiting ``tmax`` is how RX prevents a point-lookup ray from extending
+    beyond a single grid cell, and how range lookups stop at the upper bound.
+    """
+
+    origin: np.ndarray
+    direction: np.ndarray
+    tmin: float = 0.0
+    tmax: float = float("inf")
+
+    def __post_init__(self) -> None:
+        self.origin = np.asarray(self.origin, dtype=np.float32)
+        self.direction = np.asarray(self.direction, dtype=np.float32)
+
+    def at(self, t: float) -> np.ndarray:
+        """Point along the ray at parameter ``t``."""
+        return self.origin + t * self.direction
+
+
+@dataclass
+class HitRecord:
+    """Result of a ray traversal, mirroring the OptiX hit attributes used by cgRX."""
+
+    hit: bool = False
+    t: float = float("inf")
+    primitive_index: int = -1
+    front_face: bool = True
+    point: Optional[np.ndarray] = None
+
+    def __bool__(self) -> bool:
+        return self.hit
+
+    @property
+    def x(self) -> float:
+        """x coordinate of the intersection point (valid only if ``hit``)."""
+        return float(self.point[0]) if self.point is not None else float("nan")
+
+    @property
+    def y(self) -> float:
+        """y coordinate of the intersection point (valid only if ``hit``)."""
+        return float(self.point[1]) if self.point is not None else float("nan")
+
+    @property
+    def z(self) -> float:
+        """z coordinate of the intersection point (valid only if ``hit``)."""
+        return float(self.point[2]) if self.point is not None else float("nan")
+
+
+def make_key_triangle(
+    x: float,
+    y: float,
+    z: float,
+    flipped: bool = False,
+    half_extent: float = TRIANGLE_HALF_EXTENT,
+    primitive_index: int = 0,
+) -> Triangle:
+    """Create the small triangle that represents a key (or marker) at a grid point.
+
+    The triangle is tilted so that its plane has the normal ``(1, 1, 1)``;
+    rays travelling along any coordinate axis through the grid point therefore
+    intersect it.  ``flipped=True`` inverts the winding order, which the
+    optimised representation uses to signal single-representative rows.
+    """
+    centre = np.array([x, y, z], dtype=np.float32)
+    # Two edge vectors spanning a plane with normal (1, 1, 1).  The vertex
+    # placement is chosen so that the centroid coincides exactly with the
+    # grid point.
+    edge_a = np.array([1.0, -1.0, 0.0], dtype=np.float32)
+    edge_b = np.array([1.0, 1.0, -2.0], dtype=np.float32)
+    edge_a = edge_a / np.linalg.norm(edge_a) * half_extent
+    edge_b = edge_b / np.linalg.norm(edge_b) * (half_extent * 0.5)
+    v0 = centre - edge_a - edge_b
+    v1 = centre + edge_a - edge_b
+    v2 = centre + 2.0 * edge_b
+    triangle = Triangle(v0=v0, v1=v1, v2=v2, primitive_index=primitive_index)
+    if flipped:
+        triangle = triangle.flipped()
+        triangle.primitive_index = primitive_index
+    return triangle
+
+
+def ray_triangle_intersect(
+    ray: Ray, v0: np.ndarray, v1: np.ndarray, v2: np.ndarray
+) -> Tuple[bool, float, bool]:
+    """Möller-Trumbore ray/triangle intersection.
+
+    Returns ``(hit, t, front_face)``.  ``front_face`` is True when the ray hits
+    the side from which the winding order appears counter-clockwise, i.e. when
+    the ray direction opposes the geometric normal.
+    """
+    edge1 = v1 - v0
+    edge2 = v2 - v0
+    pvec = np.cross(ray.direction, edge2)
+    det = float(np.dot(edge1, pvec))
+    if abs(det) < EPSILON:
+        return False, float("inf"), True
+    inv_det = 1.0 / det
+    tvec = ray.origin - v0
+    u = float(np.dot(tvec, pvec)) * inv_det
+    if u < -EPSILON or u > 1.0 + EPSILON:
+        return False, float("inf"), True
+    qvec = np.cross(tvec, edge1)
+    v = float(np.dot(ray.direction, qvec)) * inv_det
+    if v < -EPSILON or u + v > 1.0 + EPSILON:
+        return False, float("inf"), True
+    t = float(np.dot(edge2, qvec)) * inv_det
+    if t < ray.tmin or t > ray.tmax:
+        return False, float("inf"), True
+    # Convention: triangles created by make_key_triangle (flipped=False) report
+    # a front-face hit for rays fired along the positive axes; flipping the
+    # winding order turns the same hit into a back-face hit.
+    front_face = det < 0.0
+    return True, t, front_face
+
+
+def ray_triangles_intersect(
+    ray: Ray, vertices: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised Möller-Trumbore intersection of one ray against many triangles.
+
+    ``vertices`` is an ``(n, 3, 3)`` array.  Returns three parallel arrays:
+    ``hit_mask`` (bool), ``t`` (float, ``inf`` where missed) and ``front_face``
+    (bool).
+    """
+    vertices = np.asarray(vertices, dtype=np.float32)
+    if vertices.size == 0:
+        empty = np.zeros(0)
+        return empty.astype(bool), empty.astype(np.float32), empty.astype(bool)
+    v0 = vertices[:, 0, :]
+    v1 = vertices[:, 1, :]
+    v2 = vertices[:, 2, :]
+    edge1 = v1 - v0
+    edge2 = v2 - v0
+    direction = ray.direction.astype(np.float64)
+    origin = ray.origin.astype(np.float64)
+    pvec = np.cross(direction, edge2)
+    det = np.einsum("ij,ij->i", edge1, pvec)
+    near_zero = np.abs(det) < EPSILON
+    safe_det = np.where(near_zero, 1.0, det)
+    inv_det = 1.0 / safe_det
+    tvec = origin - v0
+    u = np.einsum("ij,ij->i", tvec, pvec) * inv_det
+    qvec = np.cross(tvec, edge1)
+    v = np.einsum("j,ij->i", direction, qvec) * inv_det
+    t = np.einsum("ij,ij->i", edge2, qvec) * inv_det
+    hit_mask = (
+        ~near_zero
+        & (u >= -EPSILON)
+        & (u <= 1.0 + EPSILON)
+        & (v >= -EPSILON)
+        & (u + v <= 1.0 + EPSILON)
+        & (t >= ray.tmin)
+        & (t <= ray.tmax)
+    )
+    t_out = np.where(hit_mask, t, np.inf).astype(np.float32)
+    # Same convention as ray_triangle_intersect: unflipped key triangles report
+    # front-face hits for rays fired along the positive axes.
+    front_face = det < 0.0
+    return hit_mask, t_out, front_face
+
+
+def ray_aabb_intersect(ray: Ray, minimum: np.ndarray, maximum: np.ndarray) -> bool:
+    """Slab-method ray/AABB intersection test used by the BVH traversal."""
+    t_near = ray.tmin
+    t_far = ray.tmax
+    for axis in range(3):
+        direction = float(ray.direction[axis])
+        origin = float(ray.origin[axis])
+        lo = float(minimum[axis])
+        hi = float(maximum[axis])
+        if abs(direction) < EPSILON:
+            if origin < lo or origin > hi:
+                return False
+            continue
+        inv = 1.0 / direction
+        t0 = (lo - origin) * inv
+        t1 = (hi - origin) * inv
+        if t0 > t1:
+            t0, t1 = t1, t0
+        t_near = max(t_near, t0)
+        t_far = min(t_far, t1)
+        if t_near > t_far:
+            return False
+    return True
+
+
+def ray_aabbs_intersect(
+    ray: Ray, minima: np.ndarray, maxima: np.ndarray
+) -> np.ndarray:
+    """Vectorised slab test of one ray against many AABBs.
+
+    ``minima`` and ``maxima`` are ``(n, 3)`` arrays; returns a boolean mask.
+    """
+    minima = np.asarray(minima, dtype=np.float32)
+    maxima = np.asarray(maxima, dtype=np.float32)
+    if minima.size == 0:
+        return np.zeros(0, dtype=bool)
+    direction = ray.direction.astype(np.float64)
+    origin = ray.origin.astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv = np.where(np.abs(direction) < EPSILON, np.inf, 1.0 / direction)
+        t0 = (minima - origin) * inv
+        t1 = (maxima - origin) * inv
+    t_small = np.minimum(t0, t1)
+    t_big = np.maximum(t0, t1)
+    # Axes where the direction is (near) zero only hit when the origin lies
+    # within the slab.
+    parallel = np.abs(direction) < EPSILON
+    inside = (origin >= minima) & (origin <= maxima)
+    t_small = np.where(parallel, -np.inf, t_small)
+    t_big = np.where(parallel, np.inf, t_big)
+    t_near = np.maximum(t_small.max(axis=1), ray.tmin)
+    t_far = np.minimum(t_big.min(axis=1), ray.tmax)
+    mask = t_near <= t_far
+    # Reject boxes whose parallel-axis slab does not contain the origin.
+    bad_parallel = (parallel & ~inside).any(axis=1)
+    return mask & ~bad_parallel

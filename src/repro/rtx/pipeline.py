@@ -1,0 +1,180 @@
+"""An OptiX-like raytracing pipeline: vertex buffer + acceleration structure + launches.
+
+Indexes built on the RT substrate (RX, cgRX, cgRXu, RTScan) talk to this
+class instead of juggling scenes and BVHs directly.  It mirrors the OptiX
+programming model at the granularity the paper needs:
+
+* write triangles into a vertex buffer,
+* ``build_acceleration_structure()`` (``optixAccelBuild``),
+* ``update_acceleration_structure()`` (refit-only update),
+* fire rays individually (``cast_closest`` / ``cast_all``) or as a batch
+  launch, and
+* query the device memory footprint of buffer plus BVH.
+
+Every ray fired through the pipeline is counted; the per-launch counters are
+what the GPU cost model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.rtx.bvh import Bvh, BvhBuildConfig, build_bvh
+from repro.rtx.geometry import HitRecord, Ray
+from repro.rtx.refit import refit_bvh
+from repro.rtx.scene import BuildFlags, TriangleScene, VertexBuffer
+from repro.rtx.traversal import RayStats, TraversalEngine
+
+
+@dataclass
+class LaunchResult:
+    """Result of a batched ray launch: per-ray hit records plus work counters."""
+
+    hits: List[HitRecord] = field(default_factory=list)
+    stats: RayStats = field(default_factory=RayStats)
+
+
+class RaytracingPipeline:
+    """Owns a vertex buffer and the acceleration structure built over it."""
+
+    def __init__(
+        self,
+        bvh_config: Optional[BvhBuildConfig] = None,
+        build_flags: BuildFlags = BuildFlags.NONE,
+    ) -> None:
+        self.vertex_buffer = VertexBuffer()
+        self.bvh_config = bvh_config or BvhBuildConfig()
+        self.build_flags = build_flags
+        self._bvh: Optional[Bvh] = None
+        self._engine: Optional[TraversalEngine] = None
+        #: Statistics accumulated over the lifetime of the pipeline.
+        self.lifetime_stats = RayStats()
+        #: Number of full acceleration-structure builds performed.
+        self.build_count = 0
+        #: Number of refit-only updates performed.
+        self.refit_count = 0
+
+    # ------------------------------------------------------------------ build
+
+    def build_acceleration_structure(self) -> Bvh:
+        """(Re)build the BVH from the current vertex buffer contents."""
+        scene = TriangleScene.from_vertex_buffer(self.vertex_buffer, self.build_flags)
+        self._bvh = build_bvh(scene, self.bvh_config)
+        self._engine = TraversalEngine(self._bvh)
+        self.build_count += 1
+        return self._bvh
+
+    def update_acceleration_structure(self) -> Bvh:
+        """Refit the existing BVH against the current vertex buffer contents.
+
+        Requires a prior full build and an unchanged set of *occupied* slots;
+        only vertex positions may differ.  This models the cheap-but-degrading
+        OptiX refit path RX uses for updates.
+        """
+        if self._bvh is None:
+            raise RuntimeError("update requested before the acceleration structure was built")
+        scene = TriangleScene.from_vertex_buffer(self.vertex_buffer, self.build_flags)
+        if scene.num_triangles != self._bvh.scene.num_triangles or not np.array_equal(
+            scene.primitive_indices, self._bvh.scene.primitive_indices
+        ):
+            raise ValueError(
+                "refit requires the same set of occupied slots; rebuild instead"
+            )
+        refit_bvh(self._bvh, scene.vertices)
+        # Centres and flipped flags may have changed when triangles were rewritten.
+        self._bvh.scene.centres = scene.centres
+        self._bvh.scene.flipped = scene.flipped
+        self._engine = TraversalEngine(self._bvh)
+        self.refit_count += 1
+        return self._bvh
+
+    @property
+    def bvh(self) -> Bvh:
+        """The current acceleration structure (raises if not yet built)."""
+        if self._bvh is None:
+            raise RuntimeError("acceleration structure has not been built yet")
+        return self._bvh
+
+    @property
+    def is_built(self) -> bool:
+        """True once :meth:`build_acceleration_structure` has been called."""
+        return self._bvh is not None
+
+    # -------------------------------------------------------------- traversal
+
+    def cast_closest(self, ray: Ray, stats: Optional[RayStats] = None) -> HitRecord:
+        """Fire a single ray and return its closest hit."""
+        engine = self._require_engine()
+        local = RayStats()
+        record = engine.trace_closest(ray, local)
+        if stats is not None:
+            stats.merge(local)
+        self.lifetime_stats.merge(local)
+        return record
+
+    def cast_all(self, ray: Ray, stats: Optional[RayStats] = None) -> List[HitRecord]:
+        """Fire a single ray and return all hits along it, nearest first."""
+        engine = self._require_engine()
+        local = RayStats()
+        records = engine.trace_all(ray, local)
+        if stats is not None:
+            stats.merge(local)
+        self.lifetime_stats.merge(local)
+        return records
+
+    def cast_axis_closest(
+        self,
+        axis: int,
+        origin: Sequence[float],
+        tmax: float = float("inf"),
+        stats: Optional[RayStats] = None,
+    ) -> HitRecord:
+        """Fire an axis-aligned ray (fast path) and return its closest hit."""
+        engine = self._require_engine()
+        local = RayStats()
+        record = engine.trace_axis_closest(axis, origin, tmax, local)
+        if stats is not None:
+            stats.merge(local)
+        self.lifetime_stats.merge(local)
+        return record
+
+    def cast_axis_all(
+        self,
+        axis: int,
+        origin: Sequence[float],
+        tmax: float = float("inf"),
+        stats: Optional[RayStats] = None,
+    ) -> List[HitRecord]:
+        """Fire an axis-aligned ray (fast path) and return all hits, nearest first."""
+        engine = self._require_engine()
+        local = RayStats()
+        records = engine.trace_axis_all(axis, origin, tmax, local)
+        if stats is not None:
+            stats.merge(local)
+        self.lifetime_stats.merge(local)
+        return records
+
+    def launch_closest(self, rays: Sequence[Ray]) -> LaunchResult:
+        """Fire a batch of rays (one simulated thread each) and collect closest hits."""
+        result = LaunchResult()
+        for ray in rays:
+            record = self.cast_closest(ray, result.stats)
+            result.hits.append(record)
+        return result
+
+    def _require_engine(self) -> TraversalEngine:
+        if self._engine is None:
+            raise RuntimeError("acceleration structure has not been built yet")
+        return self._engine
+
+    # ----------------------------------------------------------------- memory
+
+    def memory_footprint_bytes(self) -> int:
+        """Device bytes: vertex buffer plus acceleration structure."""
+        total = self.vertex_buffer.memory_footprint_bytes()
+        if self._bvh is not None:
+            total += self._bvh.memory_footprint_bytes()
+        return total

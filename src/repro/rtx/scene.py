@@ -1,0 +1,306 @@
+"""Vertex buffers and triangle scenes (the OptiX "geometry acceleration structure" input).
+
+An index built on the RT substrate materialises its triangles by writing nine
+floats per triangle into a vertex buffer; the position in the buffer (the
+*primitive index*) is what associates a triangle with a rowID (RX) or a
+bucketID (cgRX).  Empty slots are allowed and represented by degenerate
+triangles, which mirrors how RX/cgRX leave gaps in the marker buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Flag, auto
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.rtx.geometry import (
+    TRIANGLE_BYTES,
+    TRIANGLE_HALF_EXTENT,
+    Aabb,
+    Triangle,
+    make_key_triangle,
+)
+
+
+class BuildFlags(Flag):
+    """Acceleration-structure build flags mirroring the OptiX options cgRX uses."""
+
+    NONE = 0
+    #: Allow the structure to be refit (updated in place) later.  Refitting is
+    #: cheap but only rescales bounding volumes, which is exactly the RX
+    #: degradation the paper's Figure 1c shows.
+    ALLOW_UPDATE = auto()
+    #: Spend more build time to obtain a higher-quality tree.
+    PREFER_FAST_TRACE = auto()
+    #: Minimise build time at the expense of traversal quality.
+    PREFER_FAST_BUILD = auto()
+
+
+@dataclass
+class VertexBuffer:
+    """A growable buffer of triangle vertices addressed by primitive index.
+
+    The buffer is the ground truth for the scene: building a
+    :class:`TriangleScene` snapshots it, and the BVH indexes the snapshot.
+    """
+
+    capacity: int = 0
+    _vertices: np.ndarray = field(default=None, repr=False)
+    _centres: np.ndarray = field(default=None, repr=False)
+    _occupied: np.ndarray = field(default=None, repr=False)
+    _flipped: np.ndarray = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        capacity = max(int(self.capacity), 0)
+        self._vertices = np.zeros((capacity, 3, 3), dtype=np.float32)
+        # Exact (float64) triangle centres.  At the magnitudes produced by the
+        # scaled key mapping (up to ~2^38) the float32 vertices collapse onto
+        # the grid point, so the centre is tracked separately to keep the
+        # intersection logic exact.
+        self._centres = np.zeros((capacity, 3), dtype=np.float64)
+        self._occupied = np.zeros(capacity, dtype=bool)
+        self._flipped = np.zeros(capacity, dtype=bool)
+        self.capacity = capacity
+
+    def __len__(self) -> int:
+        return self.capacity
+
+    @property
+    def num_occupied(self) -> int:
+        """Number of slots holding a real (non-degenerate) triangle."""
+        return int(self._occupied.sum())
+
+    @property
+    def occupied_mask(self) -> np.ndarray:
+        """Boolean mask over slots that hold a triangle."""
+        return self._occupied.copy()
+
+    def reserve(self, capacity: int) -> None:
+        """Grow the buffer to at least ``capacity`` slots (never shrinks)."""
+        capacity = int(capacity)
+        if capacity <= self.capacity:
+            return
+        vertices = np.zeros((capacity, 3, 3), dtype=np.float32)
+        centres = np.zeros((capacity, 3), dtype=np.float64)
+        occupied = np.zeros(capacity, dtype=bool)
+        flipped = np.zeros(capacity, dtype=bool)
+        if self.capacity:
+            vertices[: self.capacity] = self._vertices
+            centres[: self.capacity] = self._centres
+            occupied[: self.capacity] = self._occupied
+            flipped[: self.capacity] = self._flipped
+        self._vertices = vertices
+        self._centres = centres
+        self._occupied = occupied
+        self._flipped = flipped
+        self.capacity = capacity
+
+    def write_triangle(self, primitive_index: int, triangle: Triangle) -> None:
+        """Materialise ``triangle`` at slot ``primitive_index``."""
+        if primitive_index >= self.capacity:
+            self.reserve(max(primitive_index + 1, self.capacity * 2, 8))
+        self._vertices[primitive_index] = triangle.vertices()
+        self._centres[primitive_index] = triangle.vertices().astype(np.float64).mean(axis=0)
+        self._occupied[primitive_index] = True
+        normal = triangle.geometric_normal()
+        # Triangles produced by make_key_triangle have normal ~(1,1,1); a
+        # flipped triangle has the opposite normal.  Record the orientation so
+        # the scene can answer front/back-face queries cheaply.
+        self._flipped[primitive_index] = bool(normal.sum() < 0)
+
+    def write_key_triangle(
+        self,
+        primitive_index: int,
+        x: float,
+        y: float,
+        z: float,
+        flipped: bool = False,
+    ) -> None:
+        """Convenience wrapper: materialise a key/marker triangle at a grid point."""
+        triangle = make_key_triangle(x, y, z, flipped=flipped, primitive_index=primitive_index)
+        self.write_triangle(primitive_index, triangle)
+        # The analytically known grid-point centre is exact even where the
+        # float32 vertices are not.
+        self._centres[primitive_index] = (float(x), float(y), float(z))
+        self._flipped[primitive_index] = bool(flipped)
+
+    def write_key_triangles(
+        self,
+        slots: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        zs: np.ndarray,
+        flipped: Optional[np.ndarray] = None,
+    ) -> None:
+        """Vectorised bulk materialisation of key/marker triangles.
+
+        Equivalent to calling :meth:`write_key_triangle` once per slot but
+        computes all vertex positions in one shot, which matters when an index
+        materialises one triangle per key (RX) or hundreds of thousands of
+        representatives.
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size == 0:
+            return
+        centres = np.stack(
+            [
+                np.asarray(xs, dtype=np.float64),
+                np.asarray(ys, dtype=np.float64),
+                np.asarray(zs, dtype=np.float64),
+            ],
+            axis=1,
+        )
+        if flipped is None:
+            flipped = np.zeros(slots.shape[0], dtype=bool)
+        flipped = np.asarray(flipped, dtype=bool)
+
+        self.reserve(int(slots.max()) + 1)
+
+        # Same construction as make_key_triangle: two edges spanning the plane
+        # with normal (1, 1, 1), centroid exactly on the grid point; flipping
+        # swaps v1 and v2.
+        half = TRIANGLE_HALF_EXTENT
+        edge_a = np.array([1.0, -1.0, 0.0]) / np.sqrt(2.0) * half
+        edge_b = np.array([1.0, 1.0, -2.0]) / np.sqrt(6.0) * (half * 0.5)
+        v0 = centres - edge_a - edge_b
+        v1 = centres + edge_a - edge_b
+        v2 = centres + 2.0 * edge_b
+
+        vertices = np.empty((slots.shape[0], 3, 3), dtype=np.float32)
+        vertices[:, 0, :] = v0
+        vertices[:, 1, :] = np.where(flipped[:, None], v2, v1)
+        vertices[:, 2, :] = np.where(flipped[:, None], v1, v2)
+
+        self._vertices[slots] = vertices
+        self._centres[slots] = centres
+        self._occupied[slots] = True
+        self._flipped[slots] = flipped
+
+    def clear_slot(self, primitive_index: int) -> None:
+        """Remove the triangle at ``primitive_index`` (the slot becomes degenerate)."""
+        if primitive_index < self.capacity:
+            self._vertices[primitive_index] = 0.0
+            self._centres[primitive_index] = 0.0
+            self._occupied[primitive_index] = False
+            self._flipped[primitive_index] = False
+
+    def triangle(self, primitive_index: int) -> Optional[Triangle]:
+        """Return the triangle stored at ``primitive_index`` or ``None`` if empty."""
+        if primitive_index >= self.capacity or not self._occupied[primitive_index]:
+            return None
+        v = self._vertices[primitive_index]
+        return Triangle(v0=v[0].copy(), v1=v[1].copy(), v2=v[2].copy(), primitive_index=primitive_index)
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """Raw ``(capacity, 3, 3)`` vertex array (degenerate slots are all zeros)."""
+        return self._vertices
+
+    @property
+    def centres(self) -> np.ndarray:
+        """Exact float64 triangle centres, aligned with :attr:`vertices`."""
+        return self._centres
+
+    @property
+    def flipped_mask(self) -> np.ndarray:
+        """Boolean mask of slots whose triangle has inverted winding order."""
+        return self._flipped.copy()
+
+    def memory_footprint_bytes(self) -> int:
+        """Device bytes occupied by the buffer (36 B per slot, incl. empty slots)."""
+        return self.capacity * TRIANGLE_BYTES
+
+
+@dataclass
+class TriangleScene:
+    """A snapshot of a vertex buffer that a BVH can be built over.
+
+    Only occupied slots participate in traversal, but the vertex buffer's full
+    capacity counts towards the memory footprint, exactly as the gaps in RX's
+    and cgRX's buffers do on the real device.
+    """
+
+    vertices: np.ndarray
+    centres: np.ndarray
+    primitive_indices: np.ndarray
+    flipped: np.ndarray
+    buffer_capacity: int
+    build_flags: BuildFlags = BuildFlags.NONE
+
+    @staticmethod
+    def from_vertex_buffer(
+        buffer: VertexBuffer, build_flags: BuildFlags = BuildFlags.NONE
+    ) -> "TriangleScene":
+        """Snapshot ``buffer`` into a scene containing only its occupied slots."""
+        mask = buffer.occupied_mask
+        primitive_indices = np.nonzero(mask)[0].astype(np.int64)
+        vertices = buffer.vertices[mask].copy()
+        centres = buffer.centres[mask].copy()
+        flipped = buffer.flipped_mask[mask].copy()
+        return TriangleScene(
+            vertices=vertices,
+            centres=centres,
+            primitive_indices=primitive_indices,
+            flipped=flipped,
+            buffer_capacity=buffer.capacity,
+            build_flags=build_flags,
+        )
+
+    @staticmethod
+    def from_triangles(
+        triangles: Iterable[Triangle], build_flags: BuildFlags = BuildFlags.NONE
+    ) -> "TriangleScene":
+        """Build a scene directly from triangle objects (mainly for tests)."""
+        triangle_list: List[Triangle] = list(triangles)
+        if triangle_list:
+            vertices = np.stack([t.vertices() for t in triangle_list])
+            centres = vertices.astype(np.float64).mean(axis=1)
+            primitive_indices = np.array(
+                [t.primitive_index for t in triangle_list], dtype=np.int64
+            )
+            flipped = np.array(
+                [bool(t.geometric_normal().sum() < 0) for t in triangle_list], dtype=bool
+            )
+        else:
+            vertices = np.zeros((0, 3, 3), dtype=np.float32)
+            centres = np.zeros((0, 3), dtype=np.float64)
+            primitive_indices = np.zeros(0, dtype=np.int64)
+            flipped = np.zeros(0, dtype=bool)
+        capacity = int(primitive_indices.max()) + 1 if len(triangle_list) else 0
+        return TriangleScene(
+            vertices=vertices,
+            centres=centres,
+            primitive_indices=primitive_indices,
+            flipped=flipped,
+            buffer_capacity=capacity,
+            build_flags=build_flags,
+        )
+
+    @property
+    def num_triangles(self) -> int:
+        """Number of real triangles in the scene."""
+        return int(self.vertices.shape[0])
+
+    def centroids(self) -> np.ndarray:
+        """Exact per-triangle centres, used by the BVH builder and the fast ray path."""
+        return self.centres
+
+    def triangle_aabbs(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-triangle bounding boxes as two ``(n, 3)`` arrays (minima, maxima)."""
+        if self.num_triangles == 0:
+            empty = np.zeros((0, 3), dtype=np.float32)
+            return empty, empty.copy()
+        return self.vertices.min(axis=1), self.vertices.max(axis=1)
+
+    def scene_aabb(self) -> Aabb:
+        """Bounding box of the whole scene."""
+        if self.num_triangles == 0:
+            return Aabb.empty()
+        minima, maxima = self.triangle_aabbs()
+        return Aabb(minimum=minima.min(axis=0), maximum=maxima.max(axis=0))
+
+    def vertex_buffer_bytes(self) -> int:
+        """Bytes of the originating vertex buffer (including empty slots)."""
+        return self.buffer_capacity * TRIANGLE_BYTES

@@ -1,0 +1,35 @@
+"""Workload generators: key sets, lookup batches and update waves.
+
+These mirror Section V/VI of the paper: key sets parameterised by a
+*uniformity* percentage (dense prefix + uniformly random remainder), uniform
+and Zipf-skewed point-lookup batches, hit/miss mixes, range lookups with a
+target number of expected hits, and the insert/delete waves of the update
+experiment.
+"""
+
+from repro.workloads.keygen import (
+    DISTRIBUTIONS,
+    KeySet,
+    generate_distribution,
+    generate_keys,
+)
+from repro.workloads.lookups import (
+    hit_miss_lookups,
+    range_lookups,
+    uniform_lookups,
+    zipf_lookups,
+)
+from repro.workloads.updates import UpdateWave, update_waves
+
+__all__ = [
+    "KeySet",
+    "generate_keys",
+    "generate_distribution",
+    "DISTRIBUTIONS",
+    "uniform_lookups",
+    "zipf_lookups",
+    "hit_miss_lookups",
+    "range_lookups",
+    "UpdateWave",
+    "update_waves",
+]

@@ -1,0 +1,224 @@
+"""Key-set generation.
+
+The paper's standard key set mixes a dense prefix (keys ``0 .. d-1``) with
+keys picked uniformly at random from the remaining value range; the fraction
+of uniformly picked keys is called the *uniformity* of the key set.  The key
+sequence is always shuffled and the final position of a key in the shuffled
+sequence becomes its rowID.
+
+For the bucket-size robustness study (Figure 11) the paper evaluates nineteen
+different key distributions "varying from uniform to highly skewed and
+mixtures of both"; :data:`DISTRIBUTIONS` provides a named family of nineteen
+generators in that spirit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+
+@dataclass
+class KeySet:
+    """A generated key set: keys, their rowIDs, and how they were produced."""
+
+    keys: np.ndarray
+    row_ids: np.ndarray
+    key_bits: int
+    description: str = ""
+
+    def __len__(self) -> int:
+        return int(self.keys.shape[0])
+
+    @property
+    def key_dtype(self) -> np.dtype:
+        return self.keys.dtype
+
+    def sorted_keys(self) -> np.ndarray:
+        """Keys in ascending order (useful for ground-truth computations)."""
+        return np.sort(self.keys)
+
+
+def _key_dtype(key_bits: int) -> np.dtype:
+    if key_bits == 32:
+        return np.dtype(np.uint32)
+    if key_bits == 64:
+        return np.dtype(np.uint64)
+    raise ValueError("key_bits must be 32 or 64")
+
+
+def _value_range(key_bits: int) -> int:
+    """Largest generated key value.
+
+    64-bit key sets are generated within a 52-bit range so that arithmetic on
+    them (ranges, update keys) stays exact and representative triangles still
+    span multiple planes of the scene.
+    """
+    return (1 << 32) - 1 if key_bits == 32 else (1 << 52) - 1
+
+
+def _finalize(keys: np.ndarray, key_bits: int, seed: int, description: str) -> KeySet:
+    """Shuffle the key sequence and derive rowIDs from the shuffled positions."""
+    rng = np.random.default_rng(seed + 0x5EED)
+    keys = np.asarray(keys, dtype=_key_dtype(key_bits))
+    rng.shuffle(keys)
+    row_ids = np.arange(keys.shape[0], dtype=np.uint32)
+    return KeySet(keys=keys, row_ids=row_ids, key_bits=key_bits, description=description)
+
+
+def generate_keys(
+    num_keys: int,
+    uniformity: float = 0.0,
+    key_bits: int = 32,
+    seed: int = 0,
+    unique: bool = True,
+) -> KeySet:
+    """Generate the paper's standard key set.
+
+    ``uniformity`` is the fraction (0..1) of keys drawn uniformly at random
+    from the value range above the dense prefix; the remaining keys form the
+    dense prefix ``0 .. d-1``.  ``uniformity=0`` is a fully dense key set,
+    ``uniformity=1`` a fully uniform one.
+    """
+    if num_keys < 1:
+        raise ValueError("num_keys must be >= 1")
+    if not 0.0 <= uniformity <= 1.0:
+        raise ValueError("uniformity must be within [0, 1]")
+
+    rng = np.random.default_rng(seed)
+    dtype = _key_dtype(key_bits)
+    max_value = _value_range(key_bits)
+
+    num_uniform = int(round(num_keys * uniformity))
+    num_dense = num_keys - num_uniform
+    dense = np.arange(num_dense, dtype=np.uint64)
+
+    if num_uniform:
+        low = num_dense
+        uniform = rng.integers(low, max_value, size=num_uniform, dtype=np.uint64, endpoint=True)
+        if unique:
+            uniform = np.unique(uniform)
+            while uniform.shape[0] < num_uniform:
+                extra = rng.integers(
+                    low, max_value, size=num_uniform - uniform.shape[0], dtype=np.uint64, endpoint=True
+                )
+                uniform = np.unique(np.concatenate([uniform, extra]))
+        keys = np.concatenate([dense, uniform[:num_uniform]])
+    else:
+        keys = dense
+
+    description = f"uniformity={uniformity:.0%}, {key_bits}-bit, n={num_keys}"
+    return _finalize(keys.astype(dtype), key_bits, seed, description)
+
+
+# --------------------------------------------------------------------------
+# The nineteen-distribution family of the robustness study (Figure 11).
+# --------------------------------------------------------------------------
+
+
+def _dense(rng: np.random.Generator, n: int, max_value: int) -> np.ndarray:
+    return np.arange(n, dtype=np.uint64)
+
+
+def _uniform(rng: np.random.Generator, n: int, max_value: int) -> np.ndarray:
+    return rng.choice(max_value, size=n, replace=False).astype(np.uint64)
+
+
+def _mixture(fraction_uniform: float) -> Callable[[np.random.Generator, int, int], np.ndarray]:
+    def generate(rng: np.random.Generator, n: int, max_value: int) -> np.ndarray:
+        num_uniform = int(n * fraction_uniform)
+        dense = np.arange(n - num_uniform, dtype=np.uint64)
+        uniform = rng.integers(n, max_value, size=num_uniform, dtype=np.uint64)
+        return np.concatenate([dense, uniform])
+
+    return generate
+
+
+def _zipf_like(exponent: float) -> Callable[[np.random.Generator, int, int], np.ndarray]:
+    def generate(rng: np.random.Generator, n: int, max_value: int) -> np.ndarray:
+        # Heavy-tailed gaps produce a skewed key layout: most keys packed
+        # densely, a long tail spread across the value range.
+        gaps = np.floor(rng.pareto(exponent, size=n) + 1.0).astype(np.uint64)
+        keys = np.cumsum(gaps)
+        scale = max(1, int(keys[-1] // max_value) + 1)
+        return (keys // np.uint64(scale)).astype(np.uint64)
+
+    return generate
+
+
+def _clustered(num_clusters: int) -> Callable[[np.random.Generator, int, int], np.ndarray]:
+    def generate(rng: np.random.Generator, n: int, max_value: int) -> np.ndarray:
+        centres = rng.integers(0, max_value, size=num_clusters, dtype=np.uint64)
+        per_cluster = -(-n // num_clusters)
+        offsets = rng.integers(0, 1 << 12, size=(num_clusters, per_cluster), dtype=np.uint64)
+        keys = (centres[:, None] + offsets).reshape(-1)[:n]
+        return np.minimum(keys, np.uint64(max_value))
+
+    return generate
+
+
+def _normal(spread: float) -> Callable[[np.random.Generator, int, int], np.ndarray]:
+    def generate(rng: np.random.Generator, n: int, max_value: int) -> np.ndarray:
+        values = rng.normal(loc=max_value / 2.0, scale=max_value * spread, size=n)
+        return np.clip(values, 0, max_value).astype(np.uint64)
+
+    return generate
+
+
+def _lognormal(sigma: float) -> Callable[[np.random.Generator, int, int], np.ndarray]:
+    def generate(rng: np.random.Generator, n: int, max_value: int) -> np.ndarray:
+        values = rng.lognormal(mean=0.0, sigma=sigma, size=n)
+        values = values / values.max() * max_value
+        return values.astype(np.uint64)
+
+    return generate
+
+
+def _strided(stride: int) -> Callable[[np.random.Generator, int, int], np.ndarray]:
+    def generate(rng: np.random.Generator, n: int, max_value: int) -> np.ndarray:
+        keys = np.arange(n, dtype=np.uint64) * np.uint64(stride)
+        return np.minimum(keys, np.uint64(max_value))
+
+    return generate
+
+
+#: The nineteen named key distributions of the robustness study.
+DISTRIBUTIONS: Dict[str, Callable[[np.random.Generator, int, int], np.ndarray]] = {
+    "dense": _dense,
+    "uniform": _uniform,
+    "mix_10": _mixture(0.1),
+    "mix_20": _mixture(0.2),
+    "mix_35": _mixture(0.35),
+    "mix_50": _mixture(0.5),
+    "mix_65": _mixture(0.65),
+    "mix_80": _mixture(0.8),
+    "mix_90": _mixture(0.9),
+    "zipf_low": _zipf_like(2.5),
+    "zipf_mid": _zipf_like(1.5),
+    "zipf_high": _zipf_like(1.05),
+    "clustered_16": _clustered(16),
+    "clustered_256": _clustered(256),
+    "clustered_4096": _clustered(4096),
+    "normal_narrow": _normal(0.05),
+    "normal_wide": _normal(0.2),
+    "lognormal": _lognormal(2.0),
+    "strided_64": _strided(64),
+}
+
+
+def generate_distribution(
+    name: str,
+    num_keys: int,
+    key_bits: int = 32,
+    seed: int = 0,
+) -> KeySet:
+    """Generate one of the nineteen named distributions from :data:`DISTRIBUTIONS`."""
+    if name not in DISTRIBUTIONS:
+        raise KeyError(f"unknown distribution {name!r}; available: {sorted(DISTRIBUTIONS)}")
+    rng = np.random.default_rng(seed)
+    max_value = _value_range(key_bits)
+    keys = DISTRIBUTIONS[name](rng, int(num_keys), max_value)
+    keys = np.asarray(keys, dtype=_key_dtype(key_bits))[: int(num_keys)]
+    return _finalize(keys, key_bits, seed, description=f"{name}, {key_bits}-bit, n={num_keys}")

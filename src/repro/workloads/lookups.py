@@ -1,0 +1,124 @@
+"""Lookup-batch generation: uniform, skewed, hit/miss mixes and ranges."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.workloads.keygen import KeySet
+
+
+def uniform_lookups(keyset: KeySet, count: int, seed: int = 0) -> np.ndarray:
+    """Point lookups drawn uniformly at random from the indexed keys (all hits)."""
+    rng = np.random.default_rng(seed)
+    return rng.choice(keyset.keys, size=int(count), replace=True)
+
+
+def zipf_lookups(keyset: KeySet, count: int, coefficient: float, seed: int = 0) -> np.ndarray:
+    """Point lookups whose key popularity follows a Zipf distribution.
+
+    ``coefficient`` 0.0 degenerates to the uniform case; larger values
+    concentrate the lookups on fewer and fewer distinct keys (Figure 17).
+    """
+    if coefficient < 0.0:
+        raise ValueError("the Zipf coefficient must be non-negative")
+    rng = np.random.default_rng(seed)
+    count = int(count)
+    if coefficient == 0.0:
+        return rng.choice(keyset.keys, size=count, replace=True)
+
+    n = len(keyset)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-coefficient)
+    weights /= weights.sum()
+    # Assign popularity ranks to keys in a fixed shuffled order so that the
+    # popular keys are spread over the key space.
+    key_order = np.random.default_rng(seed + 1).permutation(keyset.keys)
+    positions = rng.choice(n, size=count, replace=True, p=weights)
+    return key_order[positions]
+
+
+def hit_miss_lookups(
+    keyset: KeySet,
+    count: int,
+    miss_fraction: float,
+    out_of_range_fraction: float = 0.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Point lookups with a configurable fraction of misses (Figure 16).
+
+    ``miss_fraction`` of the lookups target keys that are *not* indexed;
+    ``out_of_range_fraction`` of those misses lie beyond the largest indexed
+    key (which every index detects trivially), the rest fall into gaps within
+    the indexed key range.
+    """
+    if not 0.0 <= miss_fraction <= 1.0:
+        raise ValueError("miss_fraction must be within [0, 1]")
+    if not 0.0 <= out_of_range_fraction <= 1.0:
+        raise ValueError("out_of_range_fraction must be within [0, 1]")
+
+    rng = np.random.default_rng(seed)
+    count = int(count)
+    num_misses = int(round(count * miss_fraction))
+    num_hits = count - num_misses
+    num_out_of_range = int(round(num_misses * out_of_range_fraction))
+    num_in_range = num_misses - num_out_of_range
+
+    lookups = [rng.choice(keyset.keys, size=num_hits, replace=True)] if num_hits else []
+
+    sorted_keys = keyset.sorted_keys()
+    key_set = sorted_keys
+    max_key = int(sorted_keys[-1])
+    dtype = keyset.key_dtype
+    dtype_max = int(np.iinfo(dtype).max)
+
+    if num_in_range:
+        # Sample keys within the indexed range and reject the ones that exist.
+        missing = np.empty(0, dtype=dtype)
+        while missing.shape[0] < num_in_range:
+            candidates = rng.integers(
+                0, max_key, size=2 * (num_in_range - missing.shape[0]) + 16, dtype=np.uint64
+            ).astype(dtype)
+            positions = np.searchsorted(key_set, candidates)
+            positions = np.minimum(positions, key_set.shape[0] - 1)
+            exists = key_set[positions] == candidates
+            missing = np.concatenate([missing, candidates[~exists]])
+        lookups.append(missing[:num_in_range])
+
+    if num_out_of_range:
+        if max_key >= dtype_max:
+            raise ValueError("cannot generate out-of-range misses: key range is exhausted")
+        out = rng.integers(max_key + 1, dtype_max, size=num_out_of_range, dtype=np.uint64, endpoint=True)
+        lookups.append(out.astype(dtype))
+
+    batch = np.concatenate(lookups).astype(dtype)
+    rng.shuffle(batch)
+    return batch
+
+
+def range_lookups(
+    keyset: KeySet,
+    count: int,
+    expected_hits: int,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Range lookups ``[low, high]`` each matching ``expected_hits`` indexed keys.
+
+    The bounds are derived from the sorted key array (rank based), so every
+    generated range contains exactly ``expected_hits`` keys regardless of the
+    key distribution — the construction used for Figure 14.
+    """
+    expected_hits = int(expected_hits)
+    if expected_hits < 1:
+        raise ValueError("expected_hits must be >= 1")
+    if expected_hits > len(keyset):
+        raise ValueError("expected_hits cannot exceed the key-set size")
+
+    rng = np.random.default_rng(seed)
+    sorted_keys = keyset.sorted_keys()
+    max_start = len(keyset) - expected_hits
+    starts = rng.integers(0, max_start + 1, size=int(count))
+    lows = sorted_keys[starts]
+    highs = sorted_keys[starts + expected_hits - 1]
+    return lows, highs

@@ -1,0 +1,108 @@
+"""Update workloads: the insert/delete waves of the paper's Section VI-F.
+
+The experiment bulk loads an index, then fires eight equally sized waves of
+insertions (growing the entry count by a configurable factor, 2.2x in the
+paper), each followed by a lookup batch, and finally eight waves of deletions
+removing the previously inserted keys again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.workloads.keygen import KeySet, _key_dtype, _value_range
+
+
+@dataclass
+class UpdateWave:
+    """One wave of the update experiment."""
+
+    #: 1-based wave number (1..num_insert_waves + num_delete_waves).
+    wave: int
+    #: Either ``"insert"`` or ``"delete"``.
+    kind: str
+    #: Keys inserted in this wave (empty for delete waves).
+    insert_keys: np.ndarray
+    #: RowIDs of the inserted keys.
+    insert_row_ids: np.ndarray
+    #: Keys deleted in this wave (empty for insert waves).
+    delete_keys: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(max(self.insert_keys.shape[0], self.delete_keys.shape[0]))
+
+
+def update_waves(
+    keyset: KeySet,
+    num_insert_waves: int = 8,
+    num_delete_waves: int = 8,
+    growth_factor: float = 2.2,
+    seed: int = 0,
+) -> List[UpdateWave]:
+    """Generate the paper's insert-then-delete wave sequence.
+
+    The insert waves add ``(growth_factor - 1) * len(keyset)`` new keys in
+    total, distributed evenly across waves; the delete waves remove exactly
+    those keys again, in reverse insertion order.
+    """
+    if growth_factor <= 1.0:
+        raise ValueError("growth_factor must be > 1")
+    if num_insert_waves < 1 or num_delete_waves < 0:
+        raise ValueError("need at least one insert wave and non-negative delete waves")
+
+    rng = np.random.default_rng(seed)
+    dtype = _key_dtype(keyset.key_bits)
+    max_value = _value_range(keyset.key_bits)
+
+    total_new = int(round((growth_factor - 1.0) * len(keyset)))
+    per_wave = max(1, total_new // num_insert_waves)
+
+    existing = set(int(k) for k in keyset.keys)
+    next_row_id = int(keyset.row_ids.max()) + 1 if len(keyset) else 0
+
+    waves: List[UpdateWave] = []
+    all_inserted: List[np.ndarray] = []
+
+    for wave in range(1, num_insert_waves + 1):
+        fresh: List[int] = []
+        while len(fresh) < per_wave:
+            candidates = rng.integers(0, max_value, size=per_wave - len(fresh) + 16, dtype=np.uint64)
+            for value in candidates:
+                value = int(value)
+                if value not in existing:
+                    existing.add(value)
+                    fresh.append(value)
+                    if len(fresh) == per_wave:
+                        break
+        insert_keys = np.asarray(fresh, dtype=dtype)
+        insert_row_ids = np.arange(next_row_id, next_row_id + per_wave, dtype=np.uint32)
+        next_row_id += per_wave
+        all_inserted.append(insert_keys)
+        waves.append(
+            UpdateWave(
+                wave=wave,
+                kind="insert",
+                insert_keys=insert_keys,
+                insert_row_ids=insert_row_ids,
+                delete_keys=np.empty(0, dtype=dtype),
+            )
+        )
+
+    if num_delete_waves:
+        inserted = np.concatenate(all_inserted) if all_inserted else np.empty(0, dtype=dtype)
+        chunks = np.array_split(inserted[::-1], num_delete_waves)
+        for offset, chunk in enumerate(chunks, start=1):
+            waves.append(
+                UpdateWave(
+                    wave=num_insert_waves + offset,
+                    kind="delete",
+                    insert_keys=np.empty(0, dtype=dtype),
+                    insert_row_ids=np.empty(0, dtype=np.uint32),
+                    delete_keys=np.asarray(chunk, dtype=dtype),
+                )
+            )
+    return waves

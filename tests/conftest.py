@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.keygen import generate_keys
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_example_keys():
+    """The running-example key set from Figures 4-7 of the paper.
+
+    13 keys, duplicates of 19 spanning two buckets of size 3, mapped with the
+    small (3, 2, rest) example mapping.
+    """
+    return np.array([2, 4, 5, 6, 12, 17, 18, 19, 19, 19, 19, 19, 22], dtype=np.uint64)
+
+
+@pytest.fixture
+def paper_example_rowids():
+    """RowIDs used in Figure 4 of the paper for the running example."""
+    return np.array([3, 7, 1, 8, 2, 0, 12, 6, 9, 10, 4, 11, 5], dtype=np.uint32)
+
+
+@pytest.fixture
+def mixed_keyset_32():
+    """A small 32-bit key set mixing a dense prefix with uniform keys."""
+    return generate_keys(num_keys=2048, uniformity=0.5, key_bits=32, seed=7)
+
+
+@pytest.fixture
+def mixed_keyset_64():
+    """A small 64-bit key set mixing a dense prefix with uniform keys."""
+    return generate_keys(num_keys=2048, uniformity=0.5, key_bits=64, seed=11)
+
+
+def ground_truth_point(keys, row_ids, lookups):
+    """Duplicate-aware ground truth for point lookups (aggregate, count)."""
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_rows = row_ids[order].astype(np.int64)
+    prefix = np.concatenate([[0], np.cumsum(sorted_rows)])
+    left = np.searchsorted(sorted_keys, lookups, side="left")
+    right = np.searchsorted(sorted_keys, lookups, side="right")
+    agg = np.where(left < right, prefix[right] - prefix[left], -1)
+    return agg, (right - left)
+
+
+def ground_truth_range(keys, row_ids, low, high):
+    """Ground-truth rowIDs for a range lookup [low, high]."""
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_rows = row_ids[order]
+    first = np.searchsorted(sorted_keys, low, side="left")
+    stop = np.searchsorted(sorted_keys, high, side="right")
+    return sorted_rows[first:stop]

@@ -1,0 +1,149 @@
+"""Tests for the bucketed key-rowID storage and the bucket-search cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bucket_search import BucketSearchModel
+from repro.core.bucketing import BucketedKeys
+from repro.core.config import BucketLayout, SearchStrategy
+
+
+@pytest.fixture
+def paper_buckets(paper_example_keys, paper_example_rowids):
+    """The running example bucketed with size 3, as in Figure 4."""
+    return BucketedKeys(paper_example_keys, paper_example_rowids, bucket_size=3, key_bytes=8)
+
+
+class TestBucketGeometry:
+    def test_sorting_happens_on_construction(self, paper_buckets):
+        assert np.array_equal(paper_buckets.keys, np.sort(paper_buckets.keys))
+
+    def test_num_buckets_rounds_up(self, paper_buckets):
+        assert len(paper_buckets) == 13
+        assert paper_buckets.num_buckets == 5
+
+    def test_bucket_bounds(self, paper_buckets):
+        assert paper_buckets.bucket_bounds(0) == (0, 3)
+        assert paper_buckets.bucket_bounds(3) == (9, 12)
+        assert paper_buckets.bucket_bounds(4) == (12, 13)  # partial last bucket
+        with pytest.raises(IndexError):
+            paper_buckets.bucket_bounds(5)
+
+    def test_representatives_match_figure_4(self, paper_buckets):
+        # Figure 4: representatives 5, 17, 19, (19), 22 for buckets 0..4.
+        assert list(paper_buckets.representatives()) == [5, 17, 19, 19, 22]
+        assert paper_buckets.min_representative == 5
+        assert paper_buckets.max_representative == 22
+
+    def test_representative_index_is_last_slot_of_bucket(self, paper_buckets):
+        assert paper_buckets.representative_index(0) == 2
+        assert paper_buckets.representative_index(4) == 12
+
+    def test_bucket_of_position(self, paper_buckets):
+        assert paper_buckets.bucket_of_position(0) == 0
+        assert paper_buckets.bucket_of_position(11) == 3
+
+    def test_presorted_input_skips_sort(self):
+        keys = np.arange(10, dtype=np.uint64)
+        bucketed = BucketedKeys(keys, np.arange(10, dtype=np.uint32), bucket_size=4, presorted=True)
+        assert bucketed.sort_stats.total_bytes == 0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            BucketedKeys(np.array([], dtype=np.uint64), np.array([], dtype=np.uint32), bucket_size=4)
+
+    def test_invalid_bucket_size_rejected(self):
+        with pytest.raises(ValueError):
+            BucketedKeys(np.arange(4, dtype=np.uint64), np.arange(4, dtype=np.uint32), bucket_size=0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            BucketedKeys(np.arange(4, dtype=np.uint64), np.arange(5, dtype=np.uint32), bucket_size=2)
+
+    def test_memory_footprint(self, paper_buckets):
+        assert paper_buckets.memory_footprint().total_bytes == 13 * (8 + 4)
+
+
+class TestScans:
+    def test_point_scan_hit_in_bucket(self, paper_buckets):
+        # Figure 4: key 2 lives in bucket 0 at rowID 3.
+        result = paper_buckets.scan_point(0, 2)
+        assert result.hit
+        assert list(result.row_ids) == [3]
+        assert result.aggregate() == 3
+
+    def test_point_scan_miss_reports_entries_touched(self, paper_buckets):
+        result = paper_buckets.scan_point(0, 3)
+        assert not result.hit
+        assert result.aggregate() == -1
+        assert result.entries_scanned >= 1
+
+    def test_point_scan_collects_duplicates_across_buckets(self, paper_buckets):
+        # Key 19 occurs five times, spanning buckets 2 and 3 (Figure 6).
+        result = paper_buckets.scan_point(2, 19)
+        assert result.hit
+        assert sorted(result.row_ids) == sorted([6, 9, 10, 4, 11])
+        assert result.entries_scanned >= 5
+
+    def test_range_scan_matches_bounds(self, paper_buckets):
+        result = paper_buckets.scan_range(0, 4, 18)
+        expected = {7, 1, 8, 2, 0, 12}  # rowIDs of keys 4,5,6,12,17,18
+        assert set(int(r) for r in result.row_ids) == expected
+
+    def test_range_scan_empty_result(self, paper_buckets):
+        result = paper_buckets.scan_range(1, 13, 16)
+        assert result.row_ids.size == 0
+
+    def test_range_scan_rejects_inverted_bounds(self, paper_buckets):
+        with pytest.raises(ValueError):
+            paper_buckets.scan_range(0, 10, 5)
+
+    def test_range_scan_starting_before_bucket_is_clamped(self, paper_buckets):
+        # A scan for [0, 100] starting at bucket 2 only sees entries from
+        # bucket 2 onwards (the identified bucket is where the scan starts).
+        result = paper_buckets.scan_range(2, 0, 100)
+        start, _ = paper_buckets.bucket_bounds(2)
+        assert result.row_ids.size == len(paper_buckets) - start
+
+
+class TestBucketSearchModel:
+    def test_binary_probes_grow_with_bucket_size(self):
+        model = BucketSearchModel(SearchStrategy.BINARY, BucketLayout.ROW, key_bytes=8)
+        small = model.point_search(bucket_size=32, entries_scanned=32)
+        large = model.point_search(bucket_size=65536, entries_scanned=65536)
+        assert large.bytes_read > small.bytes_read
+
+    def test_linear_cost_grows_with_entries_scanned(self):
+        model = BucketSearchModel(SearchStrategy.LINEAR, BucketLayout.ROW, key_bytes=8)
+        short = model.point_search(bucket_size=256, entries_scanned=4)
+        long = model.point_search(bucket_size=256, entries_scanned=256)
+        assert long.bytes_read > short.bytes_read
+
+    def test_binary_beats_linear_for_large_buckets(self):
+        binary = BucketSearchModel(SearchStrategy.BINARY, BucketLayout.ROW, key_bytes=8)
+        linear = BucketSearchModel(SearchStrategy.LINEAR, BucketLayout.ROW, key_bytes=8)
+        assert (
+            binary.point_search(65536, 65536).bytes_read
+            < linear.point_search(65536, 65536).bytes_read
+        )
+
+    def test_duplicate_overflow_adds_trailing_scan(self):
+        model = BucketSearchModel(SearchStrategy.BINARY, BucketLayout.ROW, key_bytes=8)
+        exact = model.point_search(bucket_size=32, entries_scanned=32)
+        overflow = model.point_search(bucket_size=32, entries_scanned=96)
+        assert overflow.bytes_read > exact.bytes_read
+
+    def test_range_scan_cost_scales_with_entries(self):
+        model = BucketSearchModel(key_bytes=4)
+        assert model.range_scan(1024).bytes_read > model.range_scan(16).bytes_read
+
+    def test_column_layout_probes_only_keys(self):
+        row = BucketSearchModel(SearchStrategy.BINARY, BucketLayout.ROW, key_bytes=4)
+        column = BucketSearchModel(SearchStrategy.BINARY, BucketLayout.COLUMN, key_bytes=4)
+        assert column.point_search(32, 32).bytes_read <= row.point_search(32, 32).bytes_read
+
+    def test_entry_bytes(self):
+        model = BucketSearchModel(key_bytes=8, rowid_bytes=4)
+        assert model.entry_bytes == 12

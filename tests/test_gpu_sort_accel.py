@@ -1,0 +1,76 @@
+"""Tests for the device radix sort and acceleration-structure cost helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.accel import accel_build_stats, accel_refit_stats, triangle_generation_stats
+from repro.gpu.sort import device_radix_sort, radix_sort_stats
+
+
+class TestRadixSort:
+    def test_sorts_keys(self, rng):
+        keys = rng.integers(0, 1 << 40, size=1000, dtype=np.uint64)
+        sorted_keys, _, _ = device_radix_sort(keys)
+        assert np.array_equal(sorted_keys, np.sort(keys))
+
+    def test_values_follow_keys(self, rng):
+        keys = rng.integers(0, 1 << 20, size=500, dtype=np.uint32)
+        values = np.arange(500, dtype=np.uint32)
+        sorted_keys, sorted_values, _ = device_radix_sort(keys, values)
+        # Every (key, value) pair of the input must still be paired up.
+        original = set(zip(keys.tolist(), values.tolist()))
+        assert set(zip(sorted_keys.tolist(), sorted_values.tolist())) == original
+
+    def test_sort_is_stable_for_duplicates(self):
+        keys = np.array([5, 3, 5, 3, 5], dtype=np.uint32)
+        values = np.array([0, 1, 2, 3, 4], dtype=np.uint32)
+        _, sorted_values, _ = device_radix_sort(keys, values)
+        # Duplicates keep their original relative order (CUB radix sort is stable).
+        assert list(sorted_values) == [1, 3, 0, 2, 4]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            device_radix_sort(np.arange(4), np.arange(5))
+
+    def test_stats_scale_with_key_width(self):
+        stats32 = radix_sort_stats(1 << 20, key_bytes=4)
+        stats64 = radix_sort_stats(1 << 20, key_bytes=8)
+        assert stats64.total_bytes > stats32.total_bytes
+        assert stats64.launches > stats32.launches
+
+    def test_sort_returns_stats_matching_dtype(self, rng):
+        keys = rng.integers(0, 100, size=256, dtype=np.uint64)
+        _, _, stats = device_radix_sort(keys, np.arange(256, dtype=np.uint32))
+        assert stats.launches == 8  # 64-bit keys, 8 bits per pass
+        assert stats.threads == 256
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), min_size=1, max_size=200)
+    )
+    def test_property_sorted_output_is_permutation(self, data):
+        keys = np.array(data, dtype=np.uint64)
+        sorted_keys, _, _ = device_radix_sort(keys)
+        assert np.array_equal(np.sort(keys), sorted_keys)
+
+
+class TestAccelCostHelpers:
+    def test_build_cost_scales_with_triangles(self):
+        small = accel_build_stats(1 << 10, output_bytes=1 << 15)
+        large = accel_build_stats(1 << 20, output_bytes=1 << 25)
+        assert large.total_bytes > small.total_bytes
+
+    def test_refit_is_cheaper_than_build(self):
+        build = accel_build_stats(1 << 20, output_bytes=1 << 25)
+        refit = accel_refit_stats(1 << 20, structure_bytes=1 << 25)
+        assert refit.total_bytes < build.total_bytes
+        assert refit.compute_ops < build.compute_ops
+
+    def test_triangle_generation_writes_triangle_bytes(self):
+        stats = triangle_generation_stats(num_keys_read=1000, num_triangles_written=100)
+        assert stats.bytes_written == 100 * 36
+        assert stats.bytes_read == 1000 * 8

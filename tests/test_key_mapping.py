@@ -1,0 +1,140 @@
+"""Tests for the key mapping (key -> grid/scene coordinates)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.key_mapping import DEFAULT_Y_SCALE, DEFAULT_Z_SCALE, KeyMapping
+
+
+class TestConstruction:
+    def test_default_64bit_mapping_matches_paper(self):
+        mapping = KeyMapping.for_key_bits(64, scaled=False)
+        assert (mapping.x_bits, mapping.y_bits, mapping.z_bits) == (23, 23, 18)
+
+    def test_scaled_mapping_uses_paper_constants(self):
+        mapping = KeyMapping.for_key_bits(64, scaled=True)
+        assert mapping.y_scale == DEFAULT_Y_SCALE == float(1 << 15)
+        assert mapping.z_scale == DEFAULT_Z_SCALE == float(1 << 25)
+
+    def test_32bit_mapping_lives_on_a_single_plane(self):
+        mapping = KeyMapping.for_key_bits(32)
+        assert mapping.single_plane
+        assert mapping.z_bits == 0
+        assert mapping.key_bits == 32
+
+    def test_invalid_key_bits_rejected(self):
+        with pytest.raises(ValueError):
+            KeyMapping.for_key_bits(48)
+
+    def test_dimension_limit_of_23_bits_enforced(self):
+        with pytest.raises(ValueError):
+            KeyMapping(x_bits=24)
+        with pytest.raises(ValueError):
+            KeyMapping(x_bits=23, y_bits=24)
+
+    def test_scale_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            KeyMapping(x_bits=8, y_bits=8, z_bits=8, y_scale=0.5)
+
+    def test_example_mapping_matches_paper_figures(self):
+        mapping = KeyMapping.example_mapping()
+        # k -> (k[2:0], k[4:3], k[63:5]); key 4 sits at x=4, y=0 (Figure 2).
+        assert mapping.key_to_grid(4) == (4, 0, 0)
+        assert mapping.key_to_grid(17) == (1, 2, 0)
+        assert mapping.key_to_grid(22) == (6, 2, 0)
+
+    def test_describe_mentions_bits(self):
+        text = KeyMapping.for_key_bits(64).describe()
+        assert "23" in text and "18" in text
+
+
+class TestCoordinateSlicing:
+    def test_x_is_least_significant_bits(self):
+        mapping = KeyMapping.for_key_bits(64, scaled=False)
+        key = (5 << (23 + 23)) | (7 << 23) | 1234
+        assert int(mapping.x_of(key)) == 1234
+        assert int(mapping.y_of(key)) == 7
+        assert int(mapping.z_of(key)) == 5
+
+    def test_yz_identifies_rows(self):
+        mapping = KeyMapping.for_key_bits(64, scaled=False)
+        same_row_a = (3 << 23) | 10
+        same_row_b = (3 << 23) | 500
+        other_row = (4 << 23) | 10
+        assert mapping.yz_of(same_row_a) == mapping.yz_of(same_row_b)
+        assert mapping.yz_of(same_row_a) != mapping.yz_of(other_row)
+
+    def test_vectorised_matches_scalar(self, rng):
+        mapping = KeyMapping.for_key_bits(64, scaled=False)
+        keys = rng.integers(0, 1 << 63, size=200, dtype=np.uint64)
+        xs = mapping.x_of(keys)
+        ys = mapping.y_of(keys)
+        zs = mapping.z_of(keys)
+        for index in (0, 17, 99, 199):
+            assert int(xs[index]) == int(mapping.x_of(int(keys[index])))
+            assert int(ys[index]) == int(mapping.y_of(int(keys[index])))
+            assert int(zs[index]) == int(mapping.z_of(int(keys[index])))
+
+    def test_grid_maxima(self):
+        mapping = KeyMapping.for_key_bits(64, scaled=False)
+        assert mapping.x_max == (1 << 23) - 1
+        assert mapping.y_max == (1 << 23) - 1
+        assert mapping.z_max == (1 << 18) - 1
+        assert KeyMapping.for_key_bits(32).z_max == 0
+
+    def test_grid_to_key_validates_ranges(self):
+        mapping = KeyMapping.example_mapping()
+        with pytest.raises(ValueError):
+            mapping.grid_to_key(x=mapping.x_max + 1)
+        with pytest.raises(ValueError):
+            mapping.grid_to_key(x=0, y=mapping.y_max + 1)
+
+    @settings(max_examples=80, deadline=None)
+    @given(key=st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_property_grid_roundtrip_is_lossless(self, key):
+        mapping = KeyMapping.for_key_bits(64, scaled=False)
+        x, y, z = mapping.key_to_grid(key)
+        assert mapping.grid_to_key(int(x), int(y), int(z)) == key
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=st.integers(min_value=0, max_value=(1 << 64) - 1), b=st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_property_key_order_matches_lexicographic_grid_order(self, a, b):
+        """Larger keys are never 'behind' smaller keys in (z, y, x) order."""
+        mapping = KeyMapping.for_key_bits(64, scaled=False)
+        ax, ay, az = (int(v) for v in mapping.key_to_grid(a))
+        bx, by, bz = (int(v) for v in mapping.key_to_grid(b))
+        if a <= b:
+            assert (az, ay, ax) <= (bz, by, bx)
+
+
+class TestSceneCoordinates:
+    def test_scaling_is_applied_to_scene_not_grid(self):
+        mapping = KeyMapping.for_key_bits(64, scaled=True)
+        key = (3 << 23) | 7
+        assert int(mapping.y_of(key)) == 3
+        x, y, z = mapping.key_to_scene(key)
+        assert x == 7.0
+        assert y == 3.0 * float(1 << 15)
+        assert z == 0.0
+
+    def test_scene_to_grid_roundtrip(self):
+        mapping = KeyMapping.for_key_bits(64, scaled=True)
+        assert mapping.scene_y_to_grid(5.0 * mapping.y_scale) == 5
+        assert mapping.scene_z_to_grid(9.0 * mapping.z_scale) == 9
+
+    def test_scaled_scene_coordinates_are_exact_in_float32(self):
+        mapping = KeyMapping.for_key_bits(64, scaled=True)
+        # Largest y grid coordinate: 23 significant bits shifted by 15.
+        y_scene = float(mapping.y_max) * mapping.y_scale
+        assert float(np.float32(y_scene)) == y_scene
+
+    def test_grid_to_scene_handles_marker_coordinates(self):
+        mapping = KeyMapping.for_key_bits(64, scaled=True)
+        x, y, z = mapping.grid_to_scene(-1.0, -1.0, 3.0)
+        assert x == -1.0
+        assert y == -1.0 * mapping.y_scale
+        assert z == 3.0 * mapping.z_scale

@@ -1,0 +1,150 @@
+"""Tests for BVH construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtx.bvh import BVH_NODE_BYTES, Bvh, BvhBuildConfig, build_bvh
+from repro.rtx.scene import TriangleScene, VertexBuffer
+
+
+def scene_from_grid_points(points):
+    buffer = VertexBuffer()
+    for slot, (x, y, z) in enumerate(points):
+        buffer.write_key_triangle(slot, float(x), float(y), float(z))
+    return TriangleScene.from_vertex_buffer(buffer)
+
+
+class TestBvhBuildConfig:
+    def test_rejects_invalid_leaf_size(self):
+        with pytest.raises(ValueError):
+            BvhBuildConfig(max_leaf_size=0)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            BvhBuildConfig(method="sah-nonsense")
+
+    @pytest.mark.parametrize("method", ["median", "middle"])
+    def test_accepts_known_methods(self, method):
+        assert BvhBuildConfig(method=method).method == method
+
+
+class TestBvhConstruction:
+    def test_empty_scene_builds_empty_bvh(self):
+        bvh = build_bvh(TriangleScene.from_triangles([]))
+        assert bvh.num_nodes == 0
+        assert bvh.num_primitives == 0
+        assert bvh.depth() == 0
+        bvh.validate()
+
+    def test_single_triangle_is_one_leaf(self):
+        bvh = build_bvh(scene_from_grid_points([(3, 1, 0)]))
+        assert bvh.num_nodes == 1
+        assert bvh.num_leaves == 1
+        assert bvh.depth() == 1
+        bvh.validate()
+
+    def test_all_primitives_covered_exactly_once(self, rng):
+        points = [(int(x), int(y), 0) for x, y in rng.integers(0, 50, size=(64, 2))]
+        bvh = build_bvh(scene_from_grid_points(points))
+        bvh.validate()
+        covered = sorted(
+            int(p)
+            for node in range(bvh.num_nodes)
+            if bvh.node_count[node] > 0
+            for p in bvh.leaf_primitive_indices(node)
+        )
+        assert covered == list(range(64))
+
+    def test_leaf_size_is_respected(self, rng):
+        points = [(int(x), int(y), 0) for x, y in rng.integers(0, 1000, size=(128, 2))]
+        for leaf_size in (1, 2, 4, 8):
+            bvh = build_bvh(scene_from_grid_points(points), BvhBuildConfig(max_leaf_size=leaf_size))
+            counts = bvh.node_count[bvh.node_count > 0]
+            # Leaves may exceed the limit only when centroids coincide.
+            assert counts.max() <= max(leaf_size, 1)
+
+    def test_smaller_leaves_make_deeper_trees(self, rng):
+        points = [(int(x), int(y), 0) for x, y in rng.integers(0, 1000, size=(256, 2))]
+        scene = scene_from_grid_points(points)
+        shallow = build_bvh(scene, BvhBuildConfig(max_leaf_size=16))
+        deep = build_bvh(scene, BvhBuildConfig(max_leaf_size=2))
+        assert deep.depth() > shallow.depth()
+
+    def test_root_aabb_covers_scene(self, rng):
+        points = [(int(x), int(y), int(z)) for x, y, z in rng.integers(0, 100, size=(50, 3))]
+        scene = scene_from_grid_points(points)
+        bvh = build_bvh(scene)
+        root = bvh.root_aabb()
+        scene_box = scene.scene_aabb()
+        assert np.all(root.minimum <= scene_box.minimum + 1e-4)
+        assert np.all(root.maximum >= scene_box.maximum - 1e-4)
+
+    def test_duplicate_positions_do_not_loop_forever(self):
+        # Coinciding centroids would defeat any split; the builder must stop.
+        bvh = build_bvh(scene_from_grid_points([(5, 5, 5)] * 20))
+        bvh.validate()
+        assert bvh.num_primitives == 20
+
+    def test_memory_footprint_scales_with_triangles(self, rng):
+        small_points = [(int(x), 0, 0) for x in rng.choice(10000, size=32, replace=False)]
+        large_points = [(int(x), 0, 0) for x in rng.choice(10000, size=512, replace=False)]
+        small = build_bvh(scene_from_grid_points(small_points))
+        large = build_bvh(scene_from_grid_points(large_points))
+        assert large.memory_footprint_bytes() > small.memory_footprint_bytes()
+        assert small.memory_footprint_bytes() >= small.num_nodes * BVH_NODE_BYTES
+
+    def test_middle_method_builds_valid_tree(self, rng):
+        points = [(int(x), int(y), 0) for x, y in rng.integers(0, 500, size=(100, 2))]
+        bvh = build_bvh(scene_from_grid_points(points), BvhBuildConfig(method="middle"))
+        bvh.validate()
+
+    def test_node_accessor_roundtrip(self):
+        bvh = build_bvh(scene_from_grid_points([(1, 0, 0), (5, 0, 0), (9, 0, 0)]), BvhBuildConfig(max_leaf_size=1))
+        root = bvh.node(0)
+        assert not root.is_leaf
+        assert root.left >= 0 and root.right >= 0
+
+    def test_scaling_y_changes_split_structure(self):
+        """The Section V-A effect: scaling y makes the builder separate rows first."""
+        rng = np.random.default_rng(3)
+        points = [(int(x), int(y), 0) for x, y in zip(rng.integers(0, 1 << 20, size=256), rng.integers(0, 8, size=256))]
+        unscaled = build_bvh(scene_from_grid_points(points), BvhBuildConfig(max_leaf_size=4))
+        scaled_points = [(x, y * (1 << 22), 0) for x, y, _ in points]
+        scaled = build_bvh(scene_from_grid_points(scaled_points), BvhBuildConfig(max_leaf_size=4))
+        # In the scaled scene the root split must separate y groups: both
+        # children of the root have disjoint y ranges.
+        left, right = int(scaled.node_left[0]), int(scaled.node_right[0])
+        assert (
+            scaled.node_max[left][1] <= scaled.node_min[right][1]
+            or scaled.node_max[right][1] <= scaled.node_min[left][1]
+        )
+        # The unscaled scene, by contrast, splits along x at the root.
+        left_u, right_u = int(unscaled.node_left[0]), int(unscaled.node_right[0])
+        overlap_y = min(unscaled.node_max[left_u][1], unscaled.node_max[right_u][1]) - max(
+            unscaled.node_min[left_u][1], unscaled.node_min[right_u][1]
+        )
+        assert overlap_y > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num=st.integers(min_value=1, max_value=120),
+        leaf=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_property_every_bvh_is_structurally_valid(self, num, leaf, seed):
+        rng = np.random.default_rng(seed)
+        points = [
+            (int(x), int(y), int(z))
+            for x, y, z in zip(
+                rng.integers(0, 1 << 16, size=num),
+                rng.integers(0, 64, size=num),
+                rng.integers(0, 4, size=num),
+            )
+        ]
+        bvh = build_bvh(scene_from_grid_points(points), BvhBuildConfig(max_leaf_size=leaf))
+        bvh.validate()
+        assert bvh.num_primitives == num

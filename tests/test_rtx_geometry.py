@@ -1,0 +1,251 @@
+"""Unit and property tests for the geometric primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtx.geometry import (
+    TRIANGLE_BYTES,
+    TRIANGLE_HALF_EXTENT,
+    Aabb,
+    HitRecord,
+    Ray,
+    Triangle,
+    make_key_triangle,
+    ray_aabb_intersect,
+    ray_aabbs_intersect,
+    ray_triangle_intersect,
+    ray_triangles_intersect,
+)
+
+
+class TestAabb:
+    def test_from_points_bounds_all_points(self):
+        points = np.array([[0.0, 1.0, 2.0], [3.0, -1.0, 0.5], [1.0, 0.0, 4.0]])
+        box = Aabb.from_points(points)
+        assert np.all(box.minimum == [0.0, -1.0, 0.5])
+        assert np.all(box.maximum == [3.0, 1.0, 4.0])
+
+    def test_empty_box_is_identity_for_union(self):
+        box = Aabb.from_points(np.array([[1.0, 2.0, 3.0]]))
+        merged = Aabb.empty().union(box)
+        assert np.allclose(merged.minimum, box.minimum)
+        assert np.allclose(merged.maximum, box.maximum)
+
+    def test_empty_box_reports_empty(self):
+        assert Aabb.empty().is_empty()
+        assert not Aabb.from_points(np.zeros((1, 3))).is_empty()
+
+    def test_union_contains_both_operands(self):
+        a = Aabb.from_points(np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]]))
+        b = Aabb.from_points(np.array([[2.0, -1.0, 0.0], [3.0, 0.5, 2.0]]))
+        union = a.union(b)
+        assert union.contains_point([0.0, 0.0, 0.0])
+        assert union.contains_point([3.0, 0.5, 2.0])
+
+    def test_grow_to_contain(self):
+        box = Aabb.from_points(np.array([[0.0, 0.0, 0.0]]))
+        grown = box.grow_to_contain([5.0, -2.0, 1.0])
+        assert grown.contains_point([5.0, -2.0, 1.0])
+        assert grown.contains_point([0.0, 0.0, 0.0])
+
+    def test_contains_point_boundary(self):
+        box = Aabb.from_points(np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]]))
+        assert box.contains_point([1.0, 1.0, 1.0])
+        assert not box.contains_point([1.0001, 1.0, 1.0])
+
+    def test_overlaps(self):
+        a = Aabb.from_points(np.array([[0.0, 0.0, 0.0], [2.0, 2.0, 2.0]]))
+        b = Aabb.from_points(np.array([[1.0, 1.0, 1.0], [3.0, 3.0, 3.0]]))
+        c = Aabb.from_points(np.array([[5.0, 5.0, 5.0], [6.0, 6.0, 6.0]]))
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_surface_area_of_unit_cube(self):
+        box = Aabb.from_points(np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]]))
+        assert box.surface_area() == pytest.approx(6.0)
+
+    def test_surface_area_of_empty_box_is_zero(self):
+        assert Aabb.empty().surface_area() == 0.0
+
+    def test_centre_and_extent(self):
+        box = Aabb.from_points(np.array([[0.0, 2.0, 4.0], [2.0, 6.0, 8.0]]))
+        assert np.allclose(box.centre, [1.0, 4.0, 6.0])
+        assert np.allclose(box.extent, [2.0, 4.0, 4.0])
+
+
+class TestTriangle:
+    def test_key_triangle_is_centred_on_grid_point(self):
+        triangle = make_key_triangle(5.0, 3.0, 1.0)
+        assert np.allclose(triangle.centroid(), [5.0, 3.0, 1.0], atol=1e-5)
+
+    def test_key_triangle_fits_within_grid_cell(self):
+        triangle = make_key_triangle(5.0, 3.0, 1.0)
+        box = triangle.aabb()
+        assert np.all(box.extent <= 2 * TRIANGLE_HALF_EXTENT + 1e-6)
+
+    def test_flipped_triangle_has_opposite_normal(self):
+        triangle = make_key_triangle(0.0, 0.0, 0.0)
+        flipped = triangle.flipped()
+        assert np.allclose(triangle.geometric_normal(), -flipped.geometric_normal())
+
+    def test_make_key_triangle_flip_parameter(self):
+        regular = make_key_triangle(1.0, 2.0, 3.0, flipped=False)
+        flipped = make_key_triangle(1.0, 2.0, 3.0, flipped=True)
+        assert np.dot(regular.geometric_normal(), flipped.geometric_normal()) < 0
+
+    def test_primitive_index_is_preserved(self):
+        triangle = make_key_triangle(0.0, 0.0, 0.0, primitive_index=17)
+        assert triangle.primitive_index == 17
+        assert triangle.flipped().primitive_index == 17
+
+    def test_triangle_bytes_constant_matches_paper(self):
+        # Nine 4-byte floats per triangle: the 36 B/key overhead of RX.
+        assert TRIANGLE_BYTES == 36
+
+    def test_vertices_shape(self):
+        triangle = make_key_triangle(0.0, 0.0, 0.0)
+        assert triangle.vertices().shape == (3, 3)
+
+
+class TestRayTriangleIntersection:
+    def test_axis_ray_hits_key_triangle(self):
+        triangle = make_key_triangle(5.0, 0.0, 0.0)
+        ray = Ray(origin=[0.0, 0.0, 0.0], direction=[1.0, 0.0, 0.0])
+        hit, t, front = ray_triangle_intersect(ray, triangle.v0, triangle.v1, triangle.v2)
+        assert hit
+        assert t == pytest.approx(5.0, abs=0.2)
+
+    def test_unflipped_triangle_reports_front_face_for_positive_axis_rays(self):
+        triangle = make_key_triangle(5.0, 0.0, 0.0)
+        for direction in ([1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]):
+            origin = np.array([5.0, 0.0, 0.0]) - np.array(direction) * 3.0
+            hit, _, front = ray_triangle_intersect(
+                Ray(origin=origin, direction=direction), triangle.v0, triangle.v1, triangle.v2
+            )
+            assert hit
+            assert front
+
+    def test_flipped_triangle_reports_back_face(self):
+        triangle = make_key_triangle(5.0, 0.0, 0.0, flipped=True)
+        ray = Ray(origin=[0.0, 0.0, 0.0], direction=[1.0, 0.0, 0.0])
+        hit, _, front = ray_triangle_intersect(ray, triangle.v0, triangle.v1, triangle.v2)
+        assert hit
+        assert not front
+
+    def test_ray_misses_triangle_in_other_row(self):
+        triangle = make_key_triangle(5.0, 1.0, 0.0)
+        ray = Ray(origin=[0.0, 0.0, 0.0], direction=[1.0, 0.0, 0.0])
+        hit, _, _ = ray_triangle_intersect(ray, triangle.v0, triangle.v1, triangle.v2)
+        assert not hit
+
+    def test_tmax_limits_the_ray(self):
+        triangle = make_key_triangle(5.0, 0.0, 0.0)
+        ray = Ray(origin=[0.0, 0.0, 0.0], direction=[1.0, 0.0, 0.0], tmax=2.0)
+        hit, _, _ = ray_triangle_intersect(ray, triangle.v0, triangle.v1, triangle.v2)
+        assert not hit
+
+    def test_tmin_skips_near_triangles(self):
+        triangle = make_key_triangle(1.0, 0.0, 0.0)
+        ray = Ray(origin=[0.0, 0.0, 0.0], direction=[1.0, 0.0, 0.0], tmin=3.0)
+        hit, _, _ = ray_triangle_intersect(ray, triangle.v0, triangle.v1, triangle.v2)
+        assert not hit
+
+    def test_backward_ray_does_not_hit(self):
+        triangle = make_key_triangle(5.0, 0.0, 0.0)
+        ray = Ray(origin=[0.0, 0.0, 0.0], direction=[-1.0, 0.0, 0.0])
+        hit, _, _ = ray_triangle_intersect(ray, triangle.v0, triangle.v1, triangle.v2)
+        assert not hit
+
+    def test_vectorised_intersection_matches_scalar(self, rng):
+        triangles = [
+            make_key_triangle(float(x), float(y), 0.0, flipped=bool(f))
+            for x, y, f in zip(
+                rng.integers(0, 20, size=32), rng.integers(0, 4, size=32), rng.integers(0, 2, size=32)
+            )
+        ]
+        vertices = np.stack([t.vertices() for t in triangles])
+        ray = Ray(origin=[-0.5, 2.0, 0.0], direction=[1.0, 0.0, 0.0])
+        mask, ts, fronts = ray_triangles_intersect(ray, vertices)
+        for position, triangle in enumerate(triangles):
+            hit, t, front = ray_triangle_intersect(ray, triangle.v0, triangle.v1, triangle.v2)
+            assert hit == bool(mask[position])
+            if hit:
+                assert t == pytest.approx(float(ts[position]), rel=1e-4)
+                assert front == bool(fronts[position])
+
+    def test_vectorised_intersection_empty_input(self):
+        ray = Ray(origin=[0.0, 0.0, 0.0], direction=[1.0, 0.0, 0.0])
+        mask, ts, fronts = ray_triangles_intersect(ray, np.zeros((0, 3, 3)))
+        assert mask.shape == (0,)
+        assert ts.shape == (0,)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        x=st.integers(min_value=0, max_value=100),
+        y=st.integers(min_value=0, max_value=20),
+        z=st.integers(min_value=0, max_value=20),
+        axis=st.integers(min_value=0, max_value=2),
+    )
+    def test_axis_ray_through_grid_point_always_hits(self, x, y, z, axis):
+        """A ray fired along any axis through a triangle's grid point hits it."""
+        triangle = make_key_triangle(float(x), float(y), float(z))
+        origin = np.array([float(x), float(y), float(z)])
+        direction = np.zeros(3)
+        direction[axis] = 1.0
+        origin[axis] -= 1.0
+        hit, t, _ = ray_triangle_intersect(
+            Ray(origin=origin, direction=direction), triangle.v0, triangle.v1, triangle.v2
+        )
+        assert hit
+        assert 0.0 <= t <= 2.0
+
+
+class TestRayAabbIntersection:
+    def test_ray_hits_box_ahead(self):
+        ray = Ray(origin=[0.0, 0.0, 0.0], direction=[1.0, 0.0, 0.0])
+        assert ray_aabb_intersect(ray, np.array([2.0, -1.0, -1.0]), np.array([3.0, 1.0, 1.0]))
+
+    def test_ray_misses_box_behind(self):
+        ray = Ray(origin=[5.0, 0.0, 0.0], direction=[1.0, 0.0, 0.0])
+        assert not ray_aabb_intersect(ray, np.array([2.0, -1.0, -1.0]), np.array([3.0, 1.0, 1.0]))
+
+    def test_ray_misses_offset_box(self):
+        ray = Ray(origin=[0.0, 5.0, 0.0], direction=[1.0, 0.0, 0.0])
+        assert not ray_aabb_intersect(ray, np.array([2.0, -1.0, -1.0]), np.array([3.0, 1.0, 1.0]))
+
+    def test_ray_starting_inside_box_hits(self):
+        ray = Ray(origin=[2.5, 0.0, 0.0], direction=[1.0, 0.0, 0.0])
+        assert ray_aabb_intersect(ray, np.array([2.0, -1.0, -1.0]), np.array([3.0, 1.0, 1.0]))
+
+    def test_tmax_limits_box_intersection(self):
+        ray = Ray(origin=[0.0, 0.0, 0.0], direction=[1.0, 0.0, 0.0], tmax=1.0)
+        assert not ray_aabb_intersect(ray, np.array([2.0, -1.0, -1.0]), np.array([3.0, 1.0, 1.0]))
+
+    def test_vectorised_aabb_test_matches_scalar(self, rng):
+        minima = rng.uniform(-10, 10, size=(64, 3)).astype(np.float32)
+        maxima = minima + rng.uniform(0.1, 5.0, size=(64, 3)).astype(np.float32)
+        ray = Ray(origin=[0.0, 0.0, 0.0], direction=[1.0, 0.2, 0.0])
+        mask = ray_aabbs_intersect(ray, minima, maxima)
+        for index in range(64):
+            assert bool(mask[index]) == ray_aabb_intersect(ray, minima[index], maxima[index])
+
+
+class TestHitRecord:
+    def test_miss_is_falsy(self):
+        assert not HitRecord()
+
+    def test_hit_is_truthy_and_exposes_point(self):
+        record = HitRecord(hit=True, t=1.0, primitive_index=3, point=np.array([1.0, 2.0, 3.0]))
+        assert record
+        assert record.x == 1.0
+        assert record.y == 2.0
+        assert record.z == 3.0
+
+    def test_miss_point_coordinates_are_nan(self):
+        record = HitRecord()
+        assert np.isnan(record.x)

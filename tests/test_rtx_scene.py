@@ -1,0 +1,164 @@
+"""Tests for vertex buffers and triangle scenes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rtx.geometry import TRIANGLE_BYTES, make_key_triangle
+from repro.rtx.scene import BuildFlags, TriangleScene, VertexBuffer
+
+
+class TestVertexBuffer:
+    def test_new_buffer_is_empty(self):
+        buffer = VertexBuffer()
+        assert len(buffer) == 0
+        assert buffer.num_occupied == 0
+        assert buffer.memory_footprint_bytes() == 0
+
+    def test_write_key_triangle_occupies_slot(self):
+        buffer = VertexBuffer()
+        buffer.write_key_triangle(3, 1.0, 2.0, 0.0)
+        assert buffer.num_occupied == 1
+        assert buffer.occupied_mask[3]
+        assert not buffer.occupied_mask[0]
+
+    def test_write_grows_capacity_automatically(self):
+        buffer = VertexBuffer()
+        buffer.write_key_triangle(100, 0.0, 0.0, 0.0)
+        assert len(buffer) >= 101
+
+    def test_reserve_never_shrinks(self):
+        buffer = VertexBuffer(capacity=16)
+        buffer.reserve(8)
+        assert len(buffer) == 16
+        buffer.reserve(32)
+        assert len(buffer) == 32
+
+    def test_reserve_preserves_existing_triangles(self):
+        buffer = VertexBuffer()
+        buffer.write_key_triangle(0, 5.0, 1.0, 0.0)
+        buffer.reserve(64)
+        triangle = buffer.triangle(0)
+        assert triangle is not None
+        assert np.allclose(triangle.centroid(), [5.0, 1.0, 0.0], atol=1e-5)
+
+    def test_footprint_counts_empty_slots(self):
+        # The paper's footprint numbers include gaps in the marker buffer.
+        buffer = VertexBuffer()
+        buffer.reserve(10)
+        buffer.write_key_triangle(0, 0.0, 0.0, 0.0)
+        assert buffer.memory_footprint_bytes() == 10 * TRIANGLE_BYTES
+
+    def test_clear_slot(self):
+        buffer = VertexBuffer()
+        buffer.write_key_triangle(2, 1.0, 1.0, 0.0)
+        buffer.clear_slot(2)
+        assert buffer.num_occupied == 0
+        assert buffer.triangle(2) is None
+
+    def test_triangle_returns_none_for_empty_slot(self):
+        buffer = VertexBuffer(capacity=4)
+        assert buffer.triangle(1) is None
+        assert buffer.triangle(100) is None
+
+    def test_flipped_flag_is_tracked(self):
+        buffer = VertexBuffer()
+        buffer.write_key_triangle(0, 1.0, 0.0, 0.0, flipped=False)
+        buffer.write_key_triangle(1, 2.0, 0.0, 0.0, flipped=True)
+        assert not buffer.flipped_mask[0]
+        assert buffer.flipped_mask[1]
+
+    def test_exact_centres_survive_huge_scaled_coordinates(self):
+        # Scaled scene coordinates can exceed float32 integer precision; the
+        # buffer tracks exact centres separately.
+        buffer = VertexBuffer()
+        y = 5688899 * float(1 << 15)
+        buffer.write_key_triangle(0, 4194304.0, y, 1811939328.0)
+        assert buffer.centres[0, 1] == y
+
+    def test_bulk_write_matches_single_writes(self):
+        bulk = VertexBuffer()
+        single = VertexBuffer()
+        xs = np.array([1.0, 5.0, 9.0])
+        ys = np.array([0.0, 2.0, 3.0])
+        zs = np.array([0.0, 0.0, 1.0])
+        flipped = np.array([False, True, False])
+        bulk.write_key_triangles(np.array([0, 1, 2]), xs, ys, zs, flipped)
+        for slot in range(3):
+            single.write_key_triangle(slot, xs[slot], ys[slot], zs[slot], flipped=bool(flipped[slot]))
+        assert np.allclose(bulk.vertices[:3], single.vertices[:3], atol=1e-6)
+        assert np.array_equal(bulk.flipped_mask[:3], single.flipped_mask[:3])
+        assert np.allclose(bulk.centres[:3], single.centres[:3])
+
+    def test_bulk_write_with_empty_slots_is_noop(self):
+        buffer = VertexBuffer()
+        buffer.write_key_triangles(np.array([], dtype=np.int64), np.array([]), np.array([]), np.array([]))
+        assert buffer.num_occupied == 0
+
+
+class TestTriangleScene:
+    def test_snapshot_contains_only_occupied_slots(self):
+        buffer = VertexBuffer()
+        buffer.reserve(8)
+        buffer.write_key_triangle(1, 1.0, 0.0, 0.0)
+        buffer.write_key_triangle(5, 5.0, 0.0, 0.0)
+        scene = TriangleScene.from_vertex_buffer(buffer)
+        assert scene.num_triangles == 2
+        assert list(scene.primitive_indices) == [1, 5]
+        assert scene.buffer_capacity == 8
+
+    def test_vertex_buffer_bytes_cover_full_capacity(self):
+        buffer = VertexBuffer()
+        buffer.reserve(8)
+        buffer.write_key_triangle(0, 0.0, 0.0, 0.0)
+        scene = TriangleScene.from_vertex_buffer(buffer)
+        assert scene.vertex_buffer_bytes() == 8 * TRIANGLE_BYTES
+
+    def test_scene_from_triangles(self):
+        triangles = [make_key_triangle(float(x), 0.0, 0.0, primitive_index=x) for x in range(4)]
+        scene = TriangleScene.from_triangles(triangles)
+        assert scene.num_triangles == 4
+        assert scene.buffer_capacity == 4
+
+    def test_empty_scene(self):
+        scene = TriangleScene.from_triangles([])
+        assert scene.num_triangles == 0
+        assert scene.scene_aabb().is_empty()
+
+    def test_centroids_are_exact_grid_points(self):
+        buffer = VertexBuffer()
+        buffer.write_key_triangle(0, 3.0, 7.0, 2.0)
+        scene = TriangleScene.from_vertex_buffer(buffer)
+        assert np.allclose(scene.centroids()[0], [3.0, 7.0, 2.0])
+
+    def test_triangle_aabbs_cover_vertices(self):
+        buffer = VertexBuffer()
+        buffer.write_key_triangle(0, 3.0, 7.0, 2.0)
+        scene = TriangleScene.from_vertex_buffer(buffer)
+        minima, maxima = scene.triangle_aabbs()
+        assert np.all(minima[0] <= scene.vertices[0].min(axis=0) + 1e-6)
+        assert np.all(maxima[0] >= scene.vertices[0].max(axis=0) - 1e-6)
+
+    def test_scene_aabb_covers_all_triangles(self):
+        buffer = VertexBuffer()
+        buffer.write_key_triangle(0, 0.0, 0.0, 0.0)
+        buffer.write_key_triangle(1, 10.0, 5.0, 2.0)
+        scene = TriangleScene.from_vertex_buffer(buffer)
+        box = scene.scene_aabb()
+        assert box.contains_point([0.0, 0.0, 0.0])
+        assert box.contains_point([10.0, 5.0, 2.0])
+
+    def test_flipped_flags_follow_buffer(self):
+        buffer = VertexBuffer()
+        buffer.write_key_triangle(0, 0.0, 0.0, 0.0, flipped=True)
+        buffer.write_key_triangle(1, 1.0, 0.0, 0.0, flipped=False)
+        scene = TriangleScene.from_vertex_buffer(buffer)
+        assert scene.flipped[0]
+        assert not scene.flipped[1]
+
+    def test_build_flags_are_recorded(self):
+        buffer = VertexBuffer()
+        buffer.write_key_triangle(0, 0.0, 0.0, 0.0)
+        scene = TriangleScene.from_vertex_buffer(buffer, BuildFlags.ALLOW_UPDATE)
+        assert scene.build_flags == BuildFlags.ALLOW_UPDATE
