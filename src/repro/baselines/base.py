@@ -136,6 +136,28 @@ class GpuIndex(ABC):
     def memory_footprint(self) -> MemoryFootprint:
         """Permanent device memory footprint of the index."""
 
+    # ------------------------------------------------------------ maintenance
+
+    def degradation_score(self) -> float:
+        """How far lookup performance has drifted from the freshly built state.
+
+        0.0 means "as good as a fresh bulk load".  Structures that degrade
+        under updates (e.g. cgRXu's growing node chains) override this; the
+        serving layer's maintenance worker rebuilds a shard once its score
+        crosses the configured threshold.
+        """
+        return 0.0
+
+    def export_entries(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Dump the current (key, rowID) entries, sorted by key.
+
+        Used by the serving layer to snapshot a natively-updated shard so a
+        later rebuild reproduces the live index exactly (including the
+        tie-order of duplicate keys).  Optional: index types that do not
+        support it fall back to the router's independently tracked arrays.
+        """
+        raise UnsupportedOperation(f"{self.name} does not support entry export")
+
     # ------------------------------------------------------------ conveniences
 
     def point_lookup(self, key: int) -> LookupResult:
@@ -183,6 +205,66 @@ class GpuIndex(ABC):
             "bulk_load": cls.supports_bulk_load,
             "updates": cls.supports_updates,
         }
+
+
+def delete_one_per_key(
+    keys: np.ndarray,
+    row_ids: np.ndarray,
+    delete_keys: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray, int]":
+    """Remove one entry per delete-key instance from a key/rowID column.
+
+    The shared delete semantics of the update paths: each instance of a key
+    in ``delete_keys`` removes at most one matching entry, earliest position
+    first (resolved through a stable sorted view, so no per-entry Python
+    loop).  Relative order of the surviving entries is preserved.  Returns
+    ``(keys, row_ids, deleted)``.
+    """
+    if delete_keys.size == 0 or keys.size == 0:
+        return keys, row_ids, 0
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    unique_deletes, delete_counts = np.unique(delete_keys, return_counts=True)
+    left = np.searchsorted(sorted_keys, unique_deletes, side="left")
+    right = np.searchsorted(sorted_keys, unique_deletes, side="right")
+    take = np.minimum(delete_counts, right - left)
+    keep = np.ones(keys.shape[0], dtype=bool)
+    for start, count in zip(left, take):
+        keep[order[start : start + count]] = False
+    return keys[keep], row_ids[keep], int(take.sum())
+
+
+def cancel_opposing_updates(
+    insert_keys: np.ndarray,
+    insert_row_ids: np.ndarray,
+    delete_keys: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Cancel keys appearing in both halves of an update batch, one-for-one.
+
+    cgRXu's batch semantics (Section IV): each delete instance cancels one
+    matching insert (earliest in sorted order) instead of both being applied.
+    Shared by :class:`~repro.core.updatable.CgRXuIndex` and the serving
+    layer's shard router, which promotes these semantics deployment-wide.
+    """
+    if insert_keys.size == 0 or delete_keys.size == 0:
+        return insert_keys, insert_row_ids, delete_keys
+    order = np.argsort(insert_keys, kind="stable")
+    sorted_inserts = insert_keys[order]
+    unique_deletes, delete_counts = np.unique(delete_keys, return_counts=True)
+    left = np.searchsorted(sorted_inserts, unique_deletes, side="left")
+    right = np.searchsorted(sorted_inserts, unique_deletes, side="right")
+    cancel = np.minimum(delete_counts, right - left)
+    keep_inserts = np.ones(insert_keys.shape[0], dtype=bool)
+    keep_deletes = np.ones(delete_keys.shape[0], dtype=bool)
+    for key, start, count in zip(unique_deletes, left, cancel):
+        if count:
+            keep_inserts[order[start : start + count]] = False
+            keep_deletes[np.where(delete_keys == key)[0][:count]] = False
+    return (
+        insert_keys[keep_inserts],
+        insert_row_ids[keep_inserts],
+        delete_keys[keep_deletes],
+    )
 
 
 def sorted_lookup_results(

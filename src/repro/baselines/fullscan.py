@@ -15,6 +15,8 @@ from repro.baselines.base import (
     GpuIndex,
     LookupResult,
     RangeLookupResult,
+    UpdateResult,
+    delete_one_per_key,
     sorted_lookup_results,
 )
 from repro.gpu.device import RTX_4090, GpuDevice
@@ -52,9 +54,11 @@ class FullScanIndex(GpuIndex):
             row_ids = np.arange(self.keys.shape[0], dtype=np.uint32)
         self.row_ids = np.asarray(row_ids, dtype=np.uint32)
         self.build_stats = []
+        self._rebuild_sorted_view()
 
+    def _rebuild_sorted_view(self) -> None:
         # Internal sorted view used only to *compute* result values quickly in
-        # the simulation; the cost accounting below charges a full scan.
+        # the simulation; the cost accounting charges a full scan regardless.
         order = np.argsort(self.keys, kind="stable")
         self._sorted_keys = self.keys[order]
         self._sorted_row_ids = self.row_ids[order]
@@ -99,6 +103,44 @@ class FullScanIndex(GpuIndex):
         total = int(sum(r.shape[0] for r in row_ids))
         stats = self._scan_stats("fullscan.range_lookup", int(lows.shape[0]), total)
         return RangeLookupResult(row_ids=row_ids, stats=stats)
+
+    def update_batch(
+        self,
+        insert_keys: Optional[np.ndarray] = None,
+        insert_row_ids: Optional[np.ndarray] = None,
+        delete_keys: Optional[np.ndarray] = None,
+    ) -> UpdateResult:
+        """Rewrite the column: append inserts, filter one occurrence per delete."""
+        keys = self.keys
+        row_ids = self.row_ids
+        deleted = 0
+
+        if delete_keys is not None and len(delete_keys) > 0:
+            delete_keys = np.asarray(delete_keys, dtype=keys.dtype)
+            keys, row_ids, deleted = delete_one_per_key(keys, row_ids, delete_keys)
+
+        inserted = 0
+        if insert_keys is not None and len(insert_keys) > 0:
+            insert_keys = np.asarray(insert_keys, dtype=keys.dtype)
+            if insert_row_ids is None:
+                insert_row_ids = np.arange(insert_keys.shape[0], dtype=np.uint32)
+            keys = np.concatenate([keys, insert_keys])
+            row_ids = np.concatenate([row_ids, np.asarray(insert_row_ids, dtype=np.uint32)])
+            inserted = int(insert_keys.shape[0])
+
+        old_length = len(self)
+        self.keys = keys
+        self.row_ids = row_ids
+        self._rebuild_sorted_view()
+        stats = KernelStats(
+            name="fullscan.update",
+            threads=max(1, old_length),
+            bytes_read=old_length * (self.key_bytes + 4),
+            bytes_written=len(self) * (self.key_bytes + 4),
+            compute_ops=old_length + inserted,
+            launches=1,
+        )
+        return UpdateResult(inserted=inserted, deleted=deleted, stats=stats, rebuilt=True)
 
     def memory_footprint(self) -> MemoryFootprint:
         footprint = MemoryFootprint()

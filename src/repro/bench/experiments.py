@@ -706,6 +706,153 @@ def figure_18_updates(
 
 
 # --------------------------------------------------------------------------
+# Serving: sharded deployments under a timed client request stream
+# --------------------------------------------------------------------------
+
+
+def serving_deployment(
+    num_keys: int = 1 << 13,
+    num_requests: int = 1 << 11,
+    shard_counts: Sequence[int] = (1, 4, 8),
+    partitioners: Sequence[str] = ("range", "hash"),
+    zipf_coefficients: Sequence[float] = (0.0, 1.0, 1.5),
+    cache_capacity: int = 1024,
+    max_batch_size: int = 256,
+    max_wait_ms: float = 0.5,
+    requests_per_ms: float = 32.0,
+    miss_fraction: float = 0.05,
+    num_update_waves: int = 4,
+    seed: int = 47,
+) -> ExperimentResult:
+    """Serving experiment: the `repro.serve` stack under client traffic.
+
+    Three panels, all beyond the paper's bulk-call evaluation:
+
+    * ``a_sharding`` — the partitioner x shard-count plane under one skewed
+      stream: hash partitioning evens out the per-shard load (request skew
+      near 1) while range partitioning keeps range queries narrow,
+    * ``b_skew_cache`` — the Zipf-coefficient sweep with the result cache on
+      and off: skew is what the cache converts into host-latency hits, and
+    * ``c_maintenance`` — insert waves against a cgRXu deployment: chains
+      degrade shard health until the background worker rebuilds them.
+    """
+    from repro.bench.harness import sharded_factory
+    from repro.serve.sharded import ServeConfig, ShardedIndex
+    from repro.workloads.requests import zipf_request_stream
+
+    result = ExperimentResult(
+        name="serving",
+        description="Sharded index serving: batching, caching, maintenance",
+        parameters={
+            "num_keys": num_keys,
+            "num_requests": num_requests,
+            "shard_counts": list(shard_counts),
+            "partitioners": list(partitioners),
+            "zipf_coefficients": list(zipf_coefficients),
+            "cache_capacity": cache_capacity,
+            "max_batch_size": max_batch_size,
+            "max_wait_ms": max_wait_ms,
+        },
+    )
+    keyset = generate_keys(num_keys, uniformity=0.5, key_bits=32, seed=seed)
+
+    def deployment(partitioner: str, shards: int, cache: int) -> GpuIndex:
+        factory = sharded_factory(
+            inner=cgrx_factory(32),
+            num_shards=shards,
+            partitioner=partitioner,
+            cache_capacity=cache,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+        )
+        return factory(keyset, RTX_4090)
+
+    # (a) Sharding plane under one skewed stream.
+    stream = zipf_request_stream(
+        keyset,
+        num_requests,
+        zipf_coefficient=1.0,
+        requests_per_ms=requests_per_ms,
+        miss_fraction=miss_fraction,
+        seed=seed + 1,
+    )
+    for partitioner in partitioners:
+        for shards in shard_counts:
+            served = deployment(partitioner, shards, cache_capacity)
+            metrics = served.serve_stream(stream)
+            snapshot = metrics.snapshot()
+            result.add(
+                panel="a_sharding",
+                partitioner=partitioner,
+                num_shards=shards,
+                latency_p50_ms=snapshot["latency_p50_ms"],
+                latency_p99_ms=snapshot["latency_p99_ms"],
+                throughput_per_s=snapshot["throughput_per_s"],
+                batches=snapshot["batches"],
+                request_skew=snapshot["request_skew"],
+                cache_hit_rate=served.cache.stats.hit_rate if served.cache else 0.0,
+            )
+
+    # (b) Lookup skew with and without the result cache.
+    for coefficient in zipf_coefficients:
+        skewed = zipf_request_stream(
+            keyset,
+            num_requests,
+            zipf_coefficient=coefficient,
+            requests_per_ms=requests_per_ms,
+            miss_fraction=miss_fraction,
+            seed=seed + 2 + int(coefficient * 10),
+        )
+        for cache in (cache_capacity, 0):
+            served = deployment("range", 4, cache)
+            metrics = served.serve_stream(skewed)
+            snapshot = metrics.snapshot()
+            result.add(
+                panel="b_skew_cache",
+                zipf_coefficient=coefficient,
+                cache_capacity=cache,
+                latency_p50_ms=snapshot["latency_p50_ms"],
+                latency_p99_ms=snapshot["latency_p99_ms"],
+                throughput_per_s=snapshot["throughput_per_s"],
+                cache_hit_rate=served.cache.stats.hit_rate if served.cache else 0.0,
+                negative_hits=served.cache.stats.negative_hits if served.cache else 0,
+            )
+
+    # (c) Update waves against a cgRXu deployment: degradation + maintenance.
+    config = ServeConfig(
+        num_shards=4,
+        partitioner="range",
+        key_bits=32,
+        cache_capacity=cache_capacity,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        rebuild_threshold=0.25,
+    )
+    served = ShardedIndex(
+        keyset.keys, keyset.row_ids, factory=cgrxu_factory(128), config=config
+    )
+    rng = np.random.default_rng(seed + 3)
+    wave_size = max(1, num_keys // 4)
+    for wave in range(1, num_update_waves + 1):
+        insert_keys = rng.integers(0, (1 << 32) - 1, size=wave_size, dtype=np.uint64).astype(
+            np.uint32
+        )
+        degradation_before = served.degradation_score()
+        update = served.update_batch(insert_keys=insert_keys)
+        maintenance = served.maintenance.snapshot()
+        result.add(
+            panel="c_maintenance",
+            wave=wave,
+            inserted=update.inserted,
+            degradation_before=degradation_before,
+            degradation_after=served.degradation_score(),
+            rebuilds_performed=maintenance["rebuilds_performed"],
+            maintenance_time_ms=maintenance["maintenance_time_ms"],
+        )
+    return result
+
+
+# --------------------------------------------------------------------------
 # Running everything
 # --------------------------------------------------------------------------
 
@@ -723,6 +870,7 @@ ALL_EXPERIMENTS = {
     "figure_16": figure_16_hit_ratio,
     "figure_17": figure_17_lookup_skew,
     "figure_18": figure_18_updates,
+    "serving": serving_deployment,
 }
 
 

@@ -163,6 +163,41 @@ def fullscan_factory() -> IndexFactory:
     return build
 
 
+def sharded_factory(
+    inner: Optional[IndexFactory] = None,
+    num_shards: int = 4,
+    partitioner: str = "range",
+    cache_capacity: int = 4096,
+    **config_kwargs: object,
+) -> IndexFactory:
+    """Factory for a served :class:`~repro.serve.sharded.ShardedIndex` deployment.
+
+    ``inner`` is the factory of the per-shard index type (sorted array when
+    omitted); the remaining arguments configure the serving layer, so bench
+    experiments can compare served deployments against bare indexes.
+    """
+
+    def build(keyset: KeySet, device: GpuDevice = RTX_4090) -> GpuIndex:
+        from repro.serve.sharded import ServeConfig, ShardedIndex
+
+        config = ServeConfig(
+            num_shards=num_shards,
+            partitioner=partitioner,
+            key_bits=keyset.key_bits,
+            cache_capacity=cache_capacity,
+            **config_kwargs,
+        )
+        return ShardedIndex(
+            keyset.keys,
+            keyset.row_ids,
+            factory=inner or sorted_array_factory(),
+            config=config,
+            device=device,
+        )
+
+    return build
+
+
 def default_point_lookup_factories(key_bits: int) -> Dict[str, IndexFactory]:
     """The index set compared in the point-lookup experiments (Figures 12/13)."""
     factories: Dict[str, IndexFactory] = {

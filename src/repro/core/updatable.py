@@ -17,6 +17,7 @@ from repro.baselines.base import (
     LookupResult,
     RangeLookupResult,
     UpdateResult,
+    cancel_opposing_updates,
 )
 from repro.core.bucketing import BucketedKeys
 from repro.core.config import CgRXuConfig, Representation
@@ -162,12 +163,9 @@ class CgRXuIndex(GpuIndex):
         current_bucket = bucket
         while current_bucket <= self.overflow_bucket:
             saw_larger = False
-            chain_empty = True
             for node in self.nodes.chain(current_bucket):
                 nodes_visited += 1
                 size = self.nodes.node_size(node)
-                if size:
-                    chain_empty = False
                 if self.nodes.node_max_key(node) < key_value and self.nodes.node_next(node) != NO_NEXT:
                     continue
                 node_keys = self.nodes.node_keys(node)
@@ -182,9 +180,11 @@ class CgRXuIndex(GpuIndex):
                     break
             if saw_larger:
                 break
-            # The chain ended exactly at the target (or was empty): duplicates
-            # may continue in the next bucket.
-            if chain_empty or (row_ids and current_bucket < self.overflow_bucket):
+            # The chain ended without any key above the target — it was empty,
+            # ended exactly at the target, or deletes drained every entry >=
+            # the target from this bucket.  In all three cases the target (or
+            # the rest of its duplicate group) may live in the next bucket.
+            if current_bucket < self.overflow_bucket:
                 current_bucket += 1
                 continue
             break
@@ -325,7 +325,7 @@ class CgRXuIndex(GpuIndex):
         stats.merge(insert_sort)
         stats.merge(delete_sort)
 
-        insert_keys, insert_row_ids, delete_keys = self._cancel_opposing(
+        insert_keys, insert_row_ids, delete_keys = cancel_opposing_updates(
             insert_keys, insert_row_ids, delete_keys
         )
 
@@ -372,40 +372,6 @@ class CgRXuIndex(GpuIndex):
         stats.merge(apply_stats)
         return UpdateResult(inserted=inserted, deleted=deleted, stats=stats, rebuilt=False)
 
-    def _cancel_opposing(
-        self,
-        insert_keys: np.ndarray,
-        insert_row_ids: np.ndarray,
-        delete_keys: np.ndarray,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Cancel keys that appear both as insert and delete (one-for-one)."""
-        if insert_keys.size == 0 or delete_keys.size == 0:
-            return insert_keys, insert_row_ids, delete_keys
-        keep_insert = np.ones(insert_keys.shape[0], dtype=bool)
-        keep_delete = np.ones(delete_keys.shape[0], dtype=bool)
-        insert_position = 0
-        for delete_position, key in enumerate(delete_keys):
-            insert_position = int(
-                np.searchsorted(insert_keys, key, side="left")
-            )
-            while (
-                insert_position < insert_keys.shape[0]
-                and insert_keys[insert_position] == key
-                and not keep_insert[insert_position]
-            ):
-                insert_position += 1
-            if (
-                insert_position < insert_keys.shape[0]
-                and insert_keys[insert_position] == key
-            ):
-                keep_insert[insert_position] = False
-                keep_delete[delete_position] = False
-        return (
-            insert_keys[keep_insert],
-            insert_row_ids[keep_insert],
-            delete_keys[keep_delete],
-        )
-
     def _batch_range(self, sorted_keys: np.ndarray, low: int, high: int) -> Tuple[int, int]:
         """Index range of a sorted batch falling into a bucket's ``[low, high]`` range.
 
@@ -424,16 +390,35 @@ class CgRXuIndex(GpuIndex):
         return lo, hi
 
     def _delete_one(self, bucket: int, key: int) -> Tuple[bool, int]:
-        """Delete one occurrence of ``key`` from the bucket's chain."""
+        """Delete one occurrence of ``key`` starting at ``bucket``'s chain.
+
+        Mirrors :meth:`_collect`: a duplicate group hugging a bucket boundary
+        continues in the next bucket, so when the routed bucket's chain ends
+        without a key larger than the target, the search moves on rather
+        than reporting a miss.
+        """
         visited = 0
-        for node in self.nodes.chain(bucket):
-            visited += 1
-            if self.nodes.node_max_key(node) < key and self.nodes.node_next(node) != NO_NEXT:
+        current_bucket = bucket
+        while current_bucket <= self.overflow_bucket:
+            saw_larger = False
+            for node in self.nodes.chain(current_bucket):
+                visited += 1
+                size = self.nodes.node_size(node)
+                if self.nodes.node_max_key(node) < key and self.nodes.node_next(node) != NO_NEXT:
+                    continue
+                if self.nodes.delete_from_node(node, key):
+                    return True, visited
+                node_keys = self.nodes.node_keys(node)
+                target = np.asarray(key, dtype=self._key_dtype)
+                if size and int(np.searchsorted(node_keys, target, side="right")) < size:
+                    saw_larger = True
+                    break
+            if saw_larger:
+                break
+            if current_bucket < self.overflow_bucket:
+                current_bucket += 1
                 continue
-            if self.nodes.delete_from_node(node, key):
-                return True, visited
-            if self.nodes.node_max_key(node) >= key:
-                return False, visited
+            break
         return False, visited
 
     def _insert_one(self, bucket: int, key: int, row_id: int) -> int:
@@ -453,6 +438,53 @@ class CgRXuIndex(GpuIndex):
             inserted = self.nodes.insert_into_node(target_node, key, row_id)
             assert inserted, "insert after split must succeed"
         return visited
+
+    def export_entries(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All (key, rowID) entries in bucket/chain order (sorted by key)."""
+        keys: List[np.ndarray] = []
+        row_ids: List[np.ndarray] = []
+        for bucket in range(self.overflow_bucket + 1):
+            chain_keys, chain_rows = self.nodes.chain_entries(bucket)
+            if chain_keys.shape[0]:
+                keys.append(chain_keys)
+                row_ids.append(chain_rows)
+        if not keys:
+            return (
+                np.empty(0, dtype=self._key_dtype),
+                np.empty(0, dtype=np.uint32),
+            )
+        return np.concatenate(keys), np.concatenate(row_ids)
+
+    # ------------------------------------------------------------ maintenance
+
+    def chain_statistics(self) -> dict:
+        """Node-chain health of the bucket lists.
+
+        Insert waves split nodes and grow the per-bucket chains; every extra
+        node is an extra dependent load on the lookup path.  The serving
+        layer's maintenance worker watches these numbers to decide when a
+        shard is worth rebuilding.
+        """
+        chain_lengths = [
+            sum(1 for _ in self.nodes.chain(bucket))
+            for bucket in range(self.overflow_bucket + 1)
+        ]
+        lengths = np.asarray(chain_lengths, dtype=np.int64)
+        return {
+            "num_chains": int(lengths.shape[0]),
+            "max_chain_nodes": int(lengths.max()),
+            "mean_chain_nodes": float(lengths.mean()),
+            "chained_buckets": int((lengths > 1).sum()),
+        }
+
+    def degradation_score(self) -> float:
+        """Mean number of *extra* chain nodes per bucket (0.0 = fresh build).
+
+        O(1): every chain starts as its one representative node and only
+        node splits append linked-region nodes, so the extra nodes per
+        bucket are exactly the allocated linked nodes over the chain count.
+        """
+        return self.nodes.linked_nodes_used / self.nodes.num_representative_nodes
 
     # ----------------------------------------------------------------- memory
 

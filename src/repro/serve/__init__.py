@@ -1,0 +1,60 @@
+"""Index serving: sharding, request batching, caching, background maintenance.
+
+The paper's indexes are single-instance, bulk-call structures; this package
+turns any of them into a served deployment:
+
+* :mod:`repro.serve.partition` — range/hash key-space partitioning,
+* :mod:`repro.serve.router` — scatter/gather over per-shard index instances,
+* :mod:`repro.serve.batching` — coalescing client requests into device-sized
+  batches (the paper's lookups only amortise at large batch sizes),
+* :mod:`repro.serve.cache` — LRU result + negative cache with accounting,
+* :mod:`repro.serve.maintenance` — queueable background tasks that rebuild
+  degraded shards off the request path, and
+* :mod:`repro.serve.metrics` — p50/p99 latency, throughput, hit-rate and
+  shard-skew telemetry.
+
+:class:`~repro.serve.sharded.ShardedIndex` composes all of it behind the
+:class:`~repro.baselines.base.GpuIndex` interface.
+"""
+
+from repro.serve.batching import Batch, BatchPolicy, BatchScheduler
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.maintenance import (
+    MaintenancePolicy,
+    MaintenanceQueue,
+    MaintenanceTask,
+    MaintenanceWorker,
+    queueable,
+)
+from repro.serve.metrics import LatencyHistogram, MetricsRegistry, shard_skew
+from repro.serve.partition import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    make_partitioner,
+)
+from repro.serve.router import ShardRouter
+from repro.serve.sharded import ServeConfig, ShardedIndex
+
+__all__ = [
+    "Batch",
+    "BatchPolicy",
+    "BatchScheduler",
+    "CacheStats",
+    "ResultCache",
+    "HashPartitioner",
+    "LatencyHistogram",
+    "MaintenancePolicy",
+    "MaintenanceQueue",
+    "MaintenanceTask",
+    "MaintenanceWorker",
+    "MetricsRegistry",
+    "Partitioner",
+    "RangePartitioner",
+    "ServeConfig",
+    "ShardRouter",
+    "ShardedIndex",
+    "make_partitioner",
+    "queueable",
+    "shard_skew",
+]

@@ -1,0 +1,184 @@
+"""LRU result cache with a negative-entry side and hit/miss accounting.
+
+Served point lookups are heavily skewed (Zipfian client arrivals), so a small
+host-side cache in front of the device absorbs a large fraction of the
+traffic.  The cache stores the *aggregated* lookup answer per key — the same
+``(rowID aggregate, match count)`` pair a :class:`~repro.baselines.base.LookupResult`
+carries — and it also caches misses ("negative entries"): a key that is known
+not to be indexed is answered without touching the device at all, which is
+exactly the out-of-range/miss traffic Figure 16 of the paper shows to be the
+cheapest to answer.
+
+Invalidation is exact-key: an entry (positive or negative) is only stale if
+its own key was inserted or deleted, so update batches drop exactly those
+entries.  Blanket trimming of negative entries (when they crowd out positive
+hits) is a hygiene task of the maintenance worker, not a correctness need.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of a :class:`ResultCache`."""
+
+    #: Lookups answered from a positive (hit) entry.
+    hits: int = 0
+    #: Lookups answered from a negative (known-miss) entry.
+    negative_hits: int = 0
+    #: Lookups that had to go to the device.
+    misses: int = 0
+    #: Entries dropped by the LRU policy.
+    evictions: int = 0
+    #: Entries dropped by update invalidation.
+    invalidations: int = 0
+    #: Entries written into the cache.
+    insertions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.negative_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (positive or negative)."""
+        if self.requests == 0:
+            return 0.0
+        return (self.hits + self.negative_hits) / self.requests
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "negative_hits": self.negative_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "insertions": self.insertions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    """One cached answer: aggregate rowID and match count (0 == negative)."""
+
+    row_agg: int
+    match_count: int
+
+
+class ResultCache:
+    """Bounded LRU cache of per-key point-lookup answers.
+
+    ``capacity`` bounds the number of resident entries; positive and negative
+    entries share the same LRU list (a hot miss is as worth caching as a hot
+    hit).  Lookups move entries to the MRU position.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return int(key) in self._entries
+
+    @property
+    def negative_count(self) -> int:
+        """Number of resident negative (known-miss) entries."""
+        return sum(1 for entry in self._entries.values() if entry.match_count == 0)
+
+    @property
+    def negative_fraction(self) -> float:
+        """Fraction of the resident entries that are negative."""
+        if not self._entries:
+            return 0.0
+        return self.negative_count / len(self._entries)
+
+    # ----------------------------------------------------------------- lookup
+
+    def get(self, key: int) -> Optional[_Entry]:
+        """Cached answer for ``key``, updating LRU order and accounting."""
+        key = int(key)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        if entry.match_count > 0:
+            self.stats.hits += 1
+        else:
+            self.stats.negative_hits += 1
+        return entry
+
+    def probe_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Probe a whole lookup batch.
+
+        Returns ``(cached_mask, row_agg, match_counts)``: positions with
+        ``cached_mask`` set carry their answer in the other two arrays, the
+        rest must be served by the index.
+        """
+        num = int(keys.shape[0])
+        cached = np.zeros(num, dtype=bool)
+        row_agg = np.full(num, -1, dtype=np.int64)
+        counts = np.zeros(num, dtype=np.int64)
+        for position, key in enumerate(keys):
+            entry = self.get(int(key))
+            if entry is not None:
+                cached[position] = True
+                row_agg[position] = entry.row_agg
+                counts[position] = entry.match_count
+        return cached, row_agg, counts
+
+    # ------------------------------------------------------------------ store
+
+    def put(self, key: int, row_agg: int, match_count: int) -> None:
+        """Insert or refresh an answer (``match_count == 0`` caches a miss)."""
+        key = int(key)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = _Entry(int(row_agg), int(match_count))
+            return
+        self._entries[key] = _Entry(int(row_agg), int(match_count))
+        self.stats.insertions += 1
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def fill_batch(self, keys: np.ndarray, row_agg: np.ndarray, match_counts: np.ndarray) -> None:
+        """Cache the answers of a served sub-batch."""
+        for key, agg, count in zip(keys, row_agg, match_counts):
+            self.put(int(key), int(agg), int(count))
+
+    # ------------------------------------------------------------- invalidate
+
+    def invalidate_keys(self, keys: np.ndarray) -> int:
+        """Drop the entries of explicitly updated keys; returns the count dropped."""
+        dropped = 0
+        for key in keys:
+            if self._entries.pop(int(key), None) is not None:
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
+    def invalidate_negative(self) -> int:
+        """Drop every negative entry (inserts can turn any miss into a hit)."""
+        stale = [key for key, entry in self._entries.items() if entry.match_count == 0]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()

@@ -1,0 +1,221 @@
+"""Background shard maintenance: queueable tasks with idempotent completion.
+
+Long-running deployments of the updatable index degrade: every insert wave
+grows cgRXu's node chains, and once buckets are several nodes deep each
+lookup pays the extra chain hops (Section IV of the paper keeps lookups fast
+precisely because the BVH is never refit — the chains are where the debt
+accumulates).  The maintenance worker periodically scans the shards, queues a
+rebuild task for every shard whose degradation score crossed the threshold,
+and executes the queue *off the request path*: maintenance device time is
+accounted separately from foreground lookup time.
+
+The task model follows the taskqueue idiom: tasks are plain functions marked
+``@queueable``, every task re-checks its precondition when it runs (a shard
+healed by an earlier task completes as a no-op, so duplicate enqueues are
+harmless), and failures are captured on the task record instead of being
+raised into the serving loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.gpu.kernels import KernelStats
+
+#: Registry of queueable maintenance task functions, keyed by name.
+QUEUEABLE_TASKS: Dict[str, Callable] = {}
+
+
+def queueable(fn: Callable) -> Callable:
+    """Register a function as an enqueueable maintenance task."""
+    QUEUEABLE_TASKS[fn.__name__] = fn
+    fn.queueable = True
+    return fn
+
+
+@dataclass
+class MaintenanceTask:
+    """One queued unit of background work."""
+
+    #: Name of a registered queueable function.
+    name: str
+    shard_id: int
+    enqueued_at_ms: float
+    status: str = "pending"  # pending | done | skipped | failed
+    attempts: int = 0
+    #: Captured error message of a failed attempt.
+    error: Optional[str] = None
+    completed_at_ms: Optional[float] = None
+    #: Device work the task performed (None for no-op completions).
+    work: Optional[KernelStats] = None
+
+
+@dataclass
+class MaintenancePolicy:
+    """When shards are considered degraded and how eagerly they are healed."""
+
+    #: Rebuild a shard once its degradation score reaches this value.  The
+    #: score of cgRXu is the mean number of *extra* chain nodes per bucket, so
+    #: 0.5 means "half the buckets grew a second node on average".
+    rebuild_threshold: float = 0.5
+    #: Trim the result cache once this fraction of its entries is negative
+    #: (negative entries crowd out the positive hits the cache exists for).
+    negative_trim_fraction: float = 0.5
+    #: Give up on a task after this many failed attempts.
+    max_attempts: int = 3
+
+
+class MaintenanceQueue:
+    """FIFO of maintenance tasks with pending-duplicate suppression."""
+
+    def __init__(self) -> None:
+        self.tasks: List[MaintenanceTask] = []
+
+    def enqueue(self, name: str, shard_id: int, now_ms: float) -> Optional[MaintenanceTask]:
+        """Queue a task unless the same (name, shard) is already pending."""
+        if name not in QUEUEABLE_TASKS:
+            raise KeyError(f"{name!r} is not a registered queueable task")
+        for task in self.tasks:
+            if task.status == "pending" and task.name == name and task.shard_id == shard_id:
+                return None
+        task = MaintenanceTask(name=name, shard_id=int(shard_id), enqueued_at_ms=float(now_ms))
+        self.tasks.append(task)
+        return task
+
+    def pending(self) -> List[MaintenanceTask]:
+        return [task for task in self.tasks if task.status == "pending"]
+
+    def by_status(self, status: str) -> List[MaintenanceTask]:
+        return [task for task in self.tasks if task.status == status]
+
+
+# --------------------------------------------------------------------------
+# Queueable task bodies
+# --------------------------------------------------------------------------
+
+
+@queueable
+def rebuild_shard(worker: "MaintenanceWorker", task: MaintenanceTask) -> Optional[KernelStats]:
+    """Rebuild a degraded shard from its authoritative arrays.
+
+    Idempotent: if the shard is no longer degraded when the task runs (an
+    earlier task already rebuilt it, or deletes shrank the chains), the task
+    completes without doing any work.
+    """
+    if worker.degradation_of(task.shard_id) < worker.policy.rebuild_threshold:
+        return None
+    return worker.router.rebuild_shard(task.shard_id)
+
+
+@queueable
+def trim_negative_cache(worker: "MaintenanceWorker", task: MaintenanceTask) -> Optional[KernelStats]:
+    """Evict negative entries when they crowd out the positive ones.
+
+    Idempotent: completes as a no-op if the negative fraction dropped back
+    below the policy threshold before the task ran.
+    """
+    if worker.cache is None:
+        return None
+    if worker.cache.negative_fraction < worker.policy.negative_trim_fraction:
+        return None
+    worker.cache.invalidate_negative()
+    # Host-side work only: report a zero-cost kernel so the task counts as done.
+    return KernelStats(name="serve.cache_trim", launches=0)
+
+
+class MaintenanceWorker:
+    """Scans shards for degradation and drains the task queue off-path."""
+
+    def __init__(
+        self,
+        router,
+        policy: Optional[MaintenancePolicy] = None,
+        cache=None,
+    ) -> None:
+        self.router = router
+        self.policy = policy or MaintenancePolicy()
+        self.cache = cache
+        self.queue = MaintenanceQueue()
+        #: Simulated device time spent on background maintenance.
+        self.maintenance_time_ms: float = 0.0
+        #: Number of rebuilds actually performed (no-op completions excluded).
+        self.rebuilds_performed: int = 0
+
+    # ------------------------------------------------------------------- scan
+
+    def degradation_of(self, shard_id: int) -> float:
+        """Degradation score of one shard (0.0 for empty or healthy shards)."""
+        shard = self.router.shards[int(shard_id)]
+        if shard.index is None:
+            return 0.0
+        return float(shard.index.degradation_score())
+
+    def scan(self, now_ms: float = 0.0) -> List[MaintenanceTask]:
+        """Enqueue rebuilds for degraded shards and a trim for a stale cache."""
+        enqueued: List[MaintenanceTask] = []
+        for shard in self.router.shards:
+            if self.degradation_of(shard.shard_id) >= self.policy.rebuild_threshold:
+                task = self.queue.enqueue("rebuild_shard", shard.shard_id, now_ms)
+                if task is not None:
+                    enqueued.append(task)
+        if (
+            self.cache is not None
+            and len(self.cache) > 0
+            and self.cache.negative_fraction >= self.policy.negative_trim_fraction
+        ):
+            # The cache is deployment-wide, not per shard: use -1 as shard id.
+            task = self.queue.enqueue("trim_negative_cache", -1, now_ms)
+            if task is not None:
+                enqueued.append(task)
+        return enqueued
+
+    # -------------------------------------------------------------------- run
+
+    def run_pending(self, now_ms: float = 0.0) -> List[MaintenanceTask]:
+        """Execute every pending task, capturing failures on the task record."""
+        executed: List[MaintenanceTask] = []
+        for task in self.queue.pending():
+            body = QUEUEABLE_TASKS[task.name]
+            task.attempts += 1
+            try:
+                work = body(self, task)
+            except Exception as error:  # captured, never raised into serving
+                task.error = f"{type(error).__name__}: {error}"
+                task.status = "failed" if task.attempts >= self.policy.max_attempts else "pending"
+                continue
+            if work is not None:
+                task.work = work
+                cost_ms = self._work_time_ms(task.shard_id, work)
+                self.maintenance_time_ms += cost_ms
+                if task.name == "rebuild_shard":
+                    self.rebuilds_performed += 1
+            task.status = "done" if task.work is not None else "skipped"
+            task.completed_at_ms = float(now_ms)
+            executed.append(task)
+        return executed
+
+    def run_cycle(self, now_ms: float = 0.0) -> List[MaintenanceTask]:
+        """One background iteration: scan, then drain the queue."""
+        self.scan(now_ms)
+        return self.run_pending(now_ms)
+
+    def _work_time_ms(self, shard_id: int, work: KernelStats) -> float:
+        if shard_id < 0:  # deployment-wide (host-side) task, no device time
+            return 0.0
+        shard = self.router.shards[int(shard_id)]
+        if shard.index is None:
+            return 0.0
+        return shard.index.cost_model.kernel_time_ms(work)
+
+    # ---------------------------------------------------------------- reports
+
+    def snapshot(self) -> dict:
+        return {
+            "tasks_enqueued": len(self.queue.tasks),
+            "tasks_done": len(self.queue.by_status("done")),
+            "tasks_skipped": len(self.queue.by_status("skipped")),
+            "tasks_failed": len(self.queue.by_status("failed")),
+            "rebuilds_performed": self.rebuilds_performed,
+            "maintenance_time_ms": self.maintenance_time_ms,
+        }

@@ -1,0 +1,171 @@
+"""Serving telemetry: latency percentiles, throughput, cache and shard health.
+
+A :class:`MetricsRegistry` is attached to every served deployment.  The hot
+path records one latency sample per request (queueing delay plus the share of
+the device batch the request rode in) and bumps counters; :meth:`snapshot`
+reduces everything into the flat dict the serving experiment reports —
+p50/p99 latency, request throughput, cache hit rate and shard skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+
+class LatencyHistogram:
+    """Latency samples with exact percentile reduction.
+
+    The simulation records every sample (request counts are laptop-scale);
+    a production implementation would substitute fixed bucket boundaries.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, latency_ms: float) -> None:
+        self._samples.append(float(latency_ms))
+
+    def record_many(self, latencies_ms: Iterable[float]) -> None:
+        self._samples.extend(float(value) for value in latencies_ms)
+
+    def percentile(self, q: float) -> float:
+        """Latency at percentile ``q`` (0..100); NaN when empty."""
+        if not self._samples:
+            return float("nan")
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    @property
+    def mean_ms(self) -> float:
+        if not self._samples:
+            return float("nan")
+        return float(np.mean(np.asarray(self._samples)))
+
+    @property
+    def max_ms(self) -> float:
+        if not self._samples:
+            return float("nan")
+        return float(np.max(np.asarray(self._samples)))
+
+
+def shard_skew(per_shard_load: np.ndarray) -> float:
+    """Load imbalance: max shard load over mean shard load (1.0 = balanced)."""
+    loads = np.asarray(per_shard_load, dtype=np.float64)
+    if loads.size == 0:
+        return 1.0
+    mean = loads.mean()
+    if mean <= 0.0:
+        return 1.0
+    return float(loads.max() / mean)
+
+
+@dataclass
+class MetricsRegistry:
+    """Counters, latency histogram and per-shard load of one deployment."""
+
+    #: Shard count of the deployment; when set, skew metrics include shards
+    #: that received no load at all (a cold shard is the worst imbalance).
+    num_shards: Optional[int] = None
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Requests served per shard (drives the skew metric).
+    shard_requests: Dict[int, int] = field(default_factory=dict)
+    #: Requests received per client (drives the client-skew metric).
+    client_requests: Dict[int, int] = field(default_factory=dict)
+    #: Simulated device-busy time accumulated per shard.
+    shard_busy_ms: Dict[int, float] = field(default_factory=dict)
+    #: Timestamps bounding the served stream (for throughput).
+    first_arrival_ms: Optional[float] = None
+    last_completion_ms: Optional[float] = None
+
+    # --------------------------------------------------------------- recording
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + int(amount)
+
+    def record_request(self, latency_ms: float, arrival_ms: float, completion_ms: float) -> None:
+        self.latency.record(latency_ms)
+        self.bump("requests")
+        if self.first_arrival_ms is None or arrival_ms < self.first_arrival_ms:
+            self.first_arrival_ms = float(arrival_ms)
+        if self.last_completion_ms is None or completion_ms > self.last_completion_ms:
+            self.last_completion_ms = float(completion_ms)
+
+    def record_client(self, client_id: int) -> None:
+        self.client_requests[int(client_id)] = (
+            self.client_requests.get(int(client_id), 0) + 1
+        )
+
+    def record_shard_batch(self, shard_id: int, batch_size: int, busy_ms: float) -> None:
+        self.shard_requests[int(shard_id)] = (
+            self.shard_requests.get(int(shard_id), 0) + int(batch_size)
+        )
+        self.shard_busy_ms[int(shard_id)] = (
+            self.shard_busy_ms.get(int(shard_id), 0.0) + float(busy_ms)
+        )
+        self.bump("batches")
+
+    # --------------------------------------------------------------- reduction
+
+    @property
+    def span_ms(self) -> float:
+        """Simulated wall time covered by the served stream."""
+        if self.first_arrival_ms is None or self.last_completion_ms is None:
+            return 0.0
+        return max(0.0, self.last_completion_ms - self.first_arrival_ms)
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Requests completed per simulated second."""
+        requests = self.counters.get("requests", 0)
+        span = self.span_ms
+        if requests == 0 or span <= 0.0:
+            return 0.0
+        return requests / (span / 1e3)
+
+    def _shard_loads(self, per_shard: Dict[int, float]) -> np.ndarray:
+        """Load vector over *all* shards (zero-load shards included when known)."""
+        if self.num_shards is not None:
+            return np.asarray(
+                [per_shard.get(shard, 0.0) for shard in range(self.num_shards)]
+            )
+        return np.asarray(list(per_shard.values()))
+
+    def request_skew(self) -> float:
+        if not self.shard_requests:
+            return 1.0
+        return shard_skew(self._shard_loads(self.shard_requests))
+
+    def busy_skew(self) -> float:
+        if not self.shard_busy_ms:
+            return 1.0
+        return shard_skew(self._shard_loads(self.shard_busy_ms))
+
+    def snapshot(self) -> dict:
+        """Flat report of the registry, as consumed by the serving experiment."""
+        snapshot = {
+            "requests": self.counters.get("requests", 0),
+            "batches": self.counters.get("batches", 0),
+            "span_ms": self.span_ms,
+            "throughput_per_s": self.throughput_per_s,
+            "latency_p50_ms": self.latency.percentile(50.0),
+            "latency_p99_ms": self.latency.percentile(99.0),
+            "latency_mean_ms": self.latency.mean_ms,
+            "latency_max_ms": self.latency.max_ms,
+            "request_skew": self.request_skew(),
+            "busy_skew": self.busy_skew(),
+        }
+        if self.client_requests:
+            snapshot["unique_clients"] = len(self.client_requests)
+            snapshot["client_skew"] = shard_skew(
+                np.asarray(list(self.client_requests.values()))
+            )
+        for counter, value in sorted(self.counters.items()):
+            if counter not in ("requests", "batches"):
+                snapshot[counter] = value
+        return snapshot

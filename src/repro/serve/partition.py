@@ -1,0 +1,106 @@
+"""Key-space partitioning for the sharded deployment.
+
+A :class:`Partitioner` maps every key to the shard responsible for it.  Two
+strategies are provided:
+
+* :class:`RangePartitioner` splits the *observed* key distribution into
+  contiguous, equally populated key ranges (one ``searchsorted`` against the
+  boundary array per lookup).  Range queries touch only the shards whose
+  ranges overlap the query interval, so scatter/gather stays narrow.
+* :class:`HashPartitioner` spreads keys with a Fibonacci multiplicative hash.
+  Load balance is immune to key skew, but every range query has to be
+  scattered to all shards.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+#: Knuth's multiplicative constant (golden-ratio reciprocal in 64 bits).
+_FIBONACCI_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+
+
+class Partitioner(ABC):
+    """Maps keys (and key ranges) of an index deployment onto shards."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = int(num_shards)
+
+    @abstractmethod
+    def shard_of(self, keys: np.ndarray) -> np.ndarray:
+        """Shard id responsible for every key of the batch."""
+
+    @abstractmethod
+    def shards_for_range(self, low: int, high: int) -> np.ndarray:
+        """Shard ids a range lookup ``[low, high]`` has to be scattered to."""
+
+    @property
+    @abstractmethod
+    def kind(self) -> str:
+        """Short identifier (``"range"`` or ``"hash"``) used in reports."""
+
+    def routing_compute_ops(self, num_keys: int) -> int:
+        """Simulated per-batch routing cost (address arithmetic / comparisons)."""
+        return int(num_keys)
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous key ranges with equi-depth boundaries from the loaded keys."""
+
+    kind = "range"
+
+    def __init__(self, keys: np.ndarray, num_shards: int) -> None:
+        super().__init__(num_shards)
+        keys = np.asarray(keys)
+        if keys.size < num_shards:
+            raise ValueError(
+                f"cannot range-partition {keys.size} keys into {num_shards} shards"
+            )
+        sorted_keys = np.sort(keys.astype(np.uint64))
+        # Equi-depth split points: shard s serves keys < boundaries[s] (and
+        # >= boundaries[s-1]); the last shard additionally serves everything
+        # beyond the largest bulk-loaded key.
+        positions = (np.arange(1, num_shards) * keys.size) // num_shards
+        #: Exclusive upper boundary of shards 0..num_shards-2.
+        self.boundaries = sorted_keys[positions]
+
+    def shard_of(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys).astype(np.uint64)
+        return np.searchsorted(self.boundaries, keys, side="right").astype(np.int64)
+
+    def shards_for_range(self, low: int, high: int) -> np.ndarray:
+        first = int(np.searchsorted(self.boundaries, np.uint64(low), side="right"))
+        last = int(np.searchsorted(self.boundaries, np.uint64(high), side="right"))
+        return np.arange(first, last + 1, dtype=np.int64)
+
+    def routing_compute_ops(self, num_keys: int) -> int:
+        # One binary search over the boundary array per key.
+        return int(num_keys) * max(1, int(np.ceil(np.log2(self.num_shards + 1))))
+
+
+class HashPartitioner(Partitioner):
+    """Fibonacci-hash key spreading (skew-immune, but ranges hit every shard)."""
+
+    kind = "hash"
+
+    def shard_of(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys).astype(np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = keys * _FIBONACCI_MULTIPLIER
+        return ((mixed >> np.uint64(33)) % np.uint64(self.num_shards)).astype(np.int64)
+
+    def shards_for_range(self, low: int, high: int) -> np.ndarray:
+        return np.arange(self.num_shards, dtype=np.int64)
+
+
+def make_partitioner(kind: str, keys: np.ndarray, num_shards: int) -> Partitioner:
+    """Build a partitioner by name (``"range"`` or ``"hash"``)."""
+    if kind == "range":
+        return RangePartitioner(keys, num_shards)
+    if kind == "hash":
+        return HashPartitioner(num_shards)
+    raise ValueError(f"unknown partitioner {kind!r}; expected 'range' or 'hash'")

@@ -1,0 +1,338 @@
+"""Shard router: scatter/gather over per-shard index instances.
+
+A :class:`ShardRouter` owns one :class:`~repro.baselines.base.GpuIndex`
+instance per shard plus the authoritative key/rowID arrays each shard was
+built from.  Point-lookup batches are scattered by the partitioner, answered
+per shard, and gathered back into request order; range lookups are scattered
+only to the shards whose key ranges overlap the query interval.  Updates are
+routed the same way — shards whose index type supports native updates apply
+them in place, all others are rebuilt from the (updated) authoritative
+arrays, which is also the primitive the background maintenance worker uses to
+heal degraded shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.base import (
+    GpuIndex,
+    LookupResult,
+    RangeLookupResult,
+    UnsupportedOperation,
+    UpdateResult,
+    cancel_opposing_updates,
+    delete_one_per_key,
+)
+from repro.gpu.device import RTX_4090, GpuDevice
+from repro.gpu.kernels import KernelStats, combine
+from repro.serve.partition import Partitioner, make_partitioner
+from repro.workloads.keygen import KeySet
+
+#: Factory building one shard's index from its keyset (harness signature).
+ShardFactory = Callable[[KeySet, GpuDevice], GpuIndex]
+
+
+
+
+@dataclass
+class ShardCall:
+    """Per-shard breakdown of the last scattered batch (for skew accounting)."""
+
+    shard_id: int
+    batch_size: int
+    stats: KernelStats
+
+
+@dataclass
+class _Shard:
+    """One shard: its index instance and the authoritative entry arrays."""
+
+    shard_id: int
+    #: Authoritative keys, kept sorted ascending.
+    keys: np.ndarray
+    #: RowIDs aligned with ``keys``.
+    row_ids: np.ndarray
+    index: Optional[GpuIndex] = None
+    #: Number of rebuilds this shard has seen (bulk load included).
+    builds: int = 0
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.keys.shape[0])
+
+
+class ShardRouter:
+    """Range- or hash-partitioned deployment of one index type."""
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        row_ids: np.ndarray,
+        factory: ShardFactory,
+        num_shards: int,
+        partitioner: str = "range",
+        key_bits: int = 64,
+        device: GpuDevice = RTX_4090,
+    ) -> None:
+        if key_bits not in (32, 64):
+            raise ValueError("key_bits must be 32 or 64")
+        self.key_bits = key_bits
+        self.key_bytes = key_bits // 8
+        self._key_dtype = np.uint32 if key_bits == 32 else np.uint64
+        self.device = device
+        self.factory = factory
+
+        keys = np.asarray(keys, dtype=self._key_dtype)
+        row_ids = np.asarray(row_ids, dtype=np.uint32)
+        self.partitioner: Partitioner = make_partitioner(partitioner, keys, num_shards)
+
+        shard_ids = self.partitioner.shard_of(keys)
+        self.shards: List[_Shard] = []
+        for shard_id in range(self.partitioner.num_shards):
+            member = shard_ids == shard_id
+            shard_keys = keys[member]
+            shard_rows = row_ids[member]
+            order = np.argsort(shard_keys, kind="stable")
+            shard = _Shard(
+                shard_id=shard_id,
+                keys=shard_keys[order],
+                row_ids=shard_rows[order],
+            )
+            self._build_shard(shard)
+            self.shards.append(shard)
+
+        #: Per-shard breakdown of the most recent scattered call.
+        self.last_calls: List[ShardCall] = []
+
+    # -------------------------------------------------------------- structure
+
+    @property
+    def num_shards(self) -> int:
+        return self.partitioner.num_shards
+
+    def shard_sizes(self) -> np.ndarray:
+        """Authoritative entry count per shard (drives the skew metric)."""
+        return np.asarray([shard.num_entries for shard in self.shards], dtype=np.int64)
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.shard_sizes().sum())
+
+    def build_time_ms(self) -> float:
+        """Simulated bulk-load time: shards build concurrently, so the makespan."""
+        times = [
+            shard.index.build_time_ms for shard in self.shards if shard.index is not None
+        ]
+        return max(times) if times else 0.0
+
+    def _build_shard(self, shard: _Shard) -> List[KernelStats]:
+        """(Re)build one shard's index from its authoritative arrays."""
+        if shard.num_entries == 0:
+            # An empty shard has no index; lookups into it are trivial misses.
+            shard.index = None
+            shard.builds += 1
+            return []
+        keyset = KeySet(
+            keys=shard.keys.copy(),
+            row_ids=shard.row_ids.copy(),
+            key_bits=self.key_bits,
+            description=f"shard {shard.shard_id}",
+        )
+        shard.index = self.factory(keyset, self.device)
+        shard.builds += 1
+        return list(shard.index.build_stats)
+
+    def rebuild_shard(self, shard_id: int) -> KernelStats:
+        """Rebuild one shard from scratch; returns the build work performed."""
+        shard = self.shards[int(shard_id)]
+        build_stats = self._build_shard(shard)
+        return combine(f"serve.rebuild_shard_{shard_id}", build_stats)
+
+    def _routing_stats(self, num_keys: int) -> KernelStats:
+        return KernelStats(
+            name="serve.route",
+            threads=num_keys,
+            bytes_read=num_keys * self.key_bytes,
+            compute_ops=self.partitioner.routing_compute_ops(num_keys),
+            launches=1,
+        )
+
+    # ---------------------------------------------------------------- lookups
+
+    def point_lookup_batch(self, keys: np.ndarray) -> LookupResult:
+        """Scatter a point-lookup batch, answer per shard, gather in order."""
+        keys = np.asarray(keys, dtype=self._key_dtype)
+        num = int(keys.shape[0])
+        row_agg = np.full(num, -1, dtype=np.int64)
+        counts = np.zeros(num, dtype=np.int64)
+        parts: List[KernelStats] = [self._routing_stats(num)]
+        self.last_calls = []
+
+        if num:
+            shard_ids = self.partitioner.shard_of(keys)
+            for shard_id in np.unique(shard_ids):
+                member = np.where(shard_ids == shard_id)[0]
+                shard = self.shards[int(shard_id)]
+                if shard.index is None:
+                    continue
+                result = shard.index.point_lookup_batch(keys[member])
+                row_agg[member] = result.row_ids
+                counts[member] = result.match_counts
+                parts.append(result.stats)
+                self.last_calls.append(
+                    ShardCall(int(shard_id), int(member.shape[0]), result.stats)
+                )
+        stats = combine("serve.point_lookup", parts)
+        return LookupResult(row_ids=row_agg, match_counts=counts, stats=stats)
+
+    def range_lookup_batch(self, lows: np.ndarray, highs: np.ndarray) -> RangeLookupResult:
+        """Scatter range lookups to overlapping shards and concatenate results."""
+        lows = np.asarray(lows, dtype=self._key_dtype)
+        highs = np.asarray(highs, dtype=self._key_dtype)
+        if lows.shape != highs.shape:
+            raise ValueError("lows and highs must have the same shape")
+        num = int(lows.shape[0])
+        parts: List[KernelStats] = [self._routing_stats(num)]
+        self.last_calls = []
+
+        # Scatter: shard -> positions of the queries that touch it.
+        per_shard: Dict[int, List[int]] = {}
+        for position in range(num):
+            for shard_id in self.partitioner.shards_for_range(int(lows[position]), int(highs[position])):
+                per_shard.setdefault(int(shard_id), []).append(position)
+
+        collected: List[List[np.ndarray]] = [[] for _ in range(num)]
+        for shard_id in sorted(per_shard):
+            shard = self.shards[shard_id]
+            if shard.index is None:
+                continue
+            positions = per_shard[shard_id]
+            result = shard.index.range_lookup_batch(lows[positions], highs[positions])
+            for offset, position in enumerate(positions):
+                if result.row_ids[offset].shape[0]:
+                    collected[position].append(result.row_ids[offset])
+            parts.append(result.stats)
+            self.last_calls.append(ShardCall(shard_id, len(positions), result.stats))
+
+        row_ids = [
+            np.concatenate(pieces) if pieces else np.empty(0, dtype=np.uint32)
+            for pieces in collected
+        ]
+        stats = combine("serve.range_lookup", parts)
+        return RangeLookupResult(row_ids=row_ids, stats=stats)
+
+    # ---------------------------------------------------------------- updates
+
+    def update_batch(
+        self,
+        insert_keys: Optional[np.ndarray] = None,
+        insert_row_ids: Optional[np.ndarray] = None,
+        delete_keys: Optional[np.ndarray] = None,
+    ) -> UpdateResult:
+        """Route an update batch; rebuild shards whose index cannot update in place."""
+        insert_keys = (
+            np.asarray(insert_keys, dtype=self._key_dtype)
+            if insert_keys is not None
+            else np.empty(0, dtype=self._key_dtype)
+        )
+        if insert_row_ids is None:
+            insert_row_ids = np.arange(insert_keys.shape[0], dtype=np.uint32)
+        insert_row_ids = np.asarray(insert_row_ids, dtype=np.uint32)
+        delete_keys = (
+            np.asarray(delete_keys, dtype=self._key_dtype)
+            if delete_keys is not None
+            else np.empty(0, dtype=self._key_dtype)
+        )
+
+        # Normalising to cgRXu's cancellation semantics here keeps every
+        # shard type — native updaters and rebuild-fallback shards alike —
+        # in agreement with the authoritative arrays, so background
+        # rebuilds can never change query answers.
+        insert_keys, insert_row_ids, delete_keys = cancel_opposing_updates(
+            insert_keys, insert_row_ids, delete_keys
+        )
+
+        parts: List[KernelStats] = [
+            self._routing_stats(int(insert_keys.shape[0] + delete_keys.shape[0]))
+        ]
+        insert_shards = self.partitioner.shard_of(insert_keys)
+        delete_shards = self.partitioner.shard_of(delete_keys)
+
+        inserted = 0
+        deleted = 0
+        any_rebuilt = False
+        touched = np.union1d(np.unique(insert_shards), np.unique(delete_shards))
+        for shard_id in touched:
+            shard = self.shards[int(shard_id)]
+            shard_inserts = insert_keys[insert_shards == shard_id]
+            shard_insert_rows = insert_row_ids[insert_shards == shard_id]
+            shard_deletes = delete_keys[delete_shards == shard_id]
+
+            removed = self._apply_authoritative(
+                shard, shard_inserts, shard_insert_rows, shard_deletes
+            )
+            inserted += int(shard_inserts.shape[0])
+            deleted += removed
+
+            if shard.index is not None and shard.index.supports_updates:
+                result = shard.index.update_batch(
+                    insert_keys=shard_inserts if shard_inserts.size else None,
+                    insert_row_ids=shard_insert_rows if shard_inserts.size else None,
+                    delete_keys=shard_deletes if shard_deletes.size else None,
+                )
+                parts.append(result.stats)
+                any_rebuilt = any_rebuilt or result.rebuilt
+                # Where the live index can dump its entries, snapshot it as
+                # the authoritative state: a rebuild then reproduces the live
+                # index exactly, duplicate tie-order included.
+                try:
+                    shard.keys, shard.row_ids = shard.index.export_entries()
+                except UnsupportedOperation:
+                    pass
+            else:
+                parts.append(self.rebuild_shard(int(shard_id)))
+                any_rebuilt = True
+
+        stats = combine("serve.update", parts)
+        return UpdateResult(inserted=inserted, deleted=deleted, stats=stats, rebuilt=any_rebuilt)
+
+    @staticmethod
+    def _apply_authoritative(
+        shard: _Shard,
+        insert_keys: np.ndarray,
+        insert_row_ids: np.ndarray,
+        delete_keys: np.ndarray,
+    ) -> int:
+        """Apply an update slice to the shard's sorted authoritative arrays.
+
+        Deletes remove one occurrence per delete key (matching cgRXu's
+        semantics); returns the number of entries actually removed.
+        """
+        keys, rows, removed = delete_one_per_key(shard.keys, shard.row_ids, delete_keys)
+        if insert_keys.size:
+            # np.insert places same-position values in argument order, so an
+            # unsorted batch would break the sorted invariant; sort it first.
+            order = np.argsort(insert_keys, kind="stable")
+            insert_keys = insert_keys[order]
+            insert_row_ids = insert_row_ids[order]
+            positions = np.searchsorted(keys, insert_keys, side="right")
+            keys = np.insert(keys, positions, insert_keys)
+            rows = np.insert(rows, positions, insert_row_ids)
+        shard.keys = keys
+        shard.row_ids = rows
+        return removed
+
+    # ------------------------------------------------------------------ memory
+
+    def memory_footprint_bytes(self) -> int:
+        return int(
+            sum(
+                shard.index.memory_footprint().total_bytes
+                for shard in self.shards
+                if shard.index is not None
+            )
+        )

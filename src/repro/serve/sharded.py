@@ -1,0 +1,322 @@
+"""`ShardedIndex`: a served, sharded deployment behind the `GpuIndex` interface.
+
+The facade composes the serving layers — shard router, LRU result/negative
+cache, request batch scheduler, background maintenance worker and telemetry
+registry — while still *being* a :class:`~repro.baselines.base.GpuIndex`:
+bulk-call benchmarks (and the contract tests) drive it exactly like any
+single-instance baseline, and :meth:`serve_stream` additionally serves a
+timed client request stream the way a deployment would.
+
+Simulated-time accounting: shards execute concurrently, so the deployment's
+bulk-load time is the slowest shard's build (makespan), foreground lookup
+stats aggregate all shard kernels, and maintenance work is accounted on the
+worker (off the request path) rather than in the foreground results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import (
+    GpuIndex,
+    LookupResult,
+    RangeLookupResult,
+    UpdateResult,
+)
+from repro.baselines.sorted_array import SortedArrayIndex
+from repro.gpu.device import RTX_4090, GpuDevice
+from repro.gpu.kernels import KernelStats, combine
+from repro.gpu.memory import MemoryFootprint
+from repro.serve.batching import BatchPolicy, BatchScheduler
+from repro.serve.cache import ResultCache
+from repro.serve.maintenance import MaintenancePolicy, MaintenanceWorker
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.router import ShardFactory, ShardRouter
+from repro.workloads.keygen import KeySet
+from repro.workloads.requests import RequestStream
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of a served deployment."""
+
+    #: Number of index shards.
+    num_shards: int = 4
+    #: Key-space partitioning strategy: ``"range"`` or ``"hash"``.
+    partitioner: str = "range"
+    #: Key width of the deployment.
+    key_bits: int = 64
+    #: Result-cache entries (0 disables the cache).
+    cache_capacity: int = 4096
+    #: Dispatch a shard batch at this size.
+    max_batch_size: int = 4096
+    #: ... or after the oldest queued request waited this long.
+    max_wait_ms: float = 1.0
+    #: Degradation score at which the maintenance worker rebuilds a shard.
+    rebuild_threshold: float = 0.5
+    #: Host-side latency charged to a request answered from cache.
+    cache_latency_ms: float = 0.01
+
+    def describe(self) -> str:
+        cache = f"cache={self.cache_capacity}" if self.cache_capacity else "no-cache"
+        return f"sharded({self.partitioner}x{self.num_shards}, {cache})"
+
+
+def _default_factory(keyset: KeySet, device: GpuDevice) -> GpuIndex:
+    return SortedArrayIndex(
+        keyset.keys, keyset.row_ids, key_bits=keyset.key_bits, device=device
+    )
+
+
+class ShardedIndex(GpuIndex):
+    """Sharded, cached, batch-served deployment of any `GpuIndex` type."""
+
+    name = "sharded"
+    supports_point = True
+    supports_range = True
+    supports_64bit = True
+    supports_updates = True
+    supports_bulk_load = True
+    memory_class = "med"
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        row_ids: Optional[np.ndarray] = None,
+        factory: Optional[ShardFactory] = None,
+        config: Optional[ServeConfig] = None,
+        device: GpuDevice = RTX_4090,
+    ) -> None:
+        super().__init__(device)
+        self.config = config or ServeConfig()
+        self.name = self.config.describe()
+        self._key_dtype = np.uint32 if self.config.key_bits == 32 else np.uint64
+
+        keys = np.asarray(keys, dtype=self._key_dtype)
+        if row_ids is None:
+            row_ids = np.arange(keys.shape[0], dtype=np.uint32)
+        row_ids = np.asarray(row_ids, dtype=np.uint32)
+
+        self.router = ShardRouter(
+            keys,
+            row_ids,
+            factory=factory or _default_factory,
+            num_shards=self.config.num_shards,
+            partitioner=self.config.partitioner,
+            key_bits=self.config.key_bits,
+            device=device,
+        )
+        self.cache: Optional[ResultCache] = (
+            ResultCache(self.config.cache_capacity) if self.config.cache_capacity else None
+        )
+        self.maintenance = MaintenanceWorker(
+            self.router,
+            policy=MaintenancePolicy(rebuild_threshold=self.config.rebuild_threshold),
+            cache=self.cache,
+        )
+        #: Cumulative telemetry over every served stream (serve_stream default).
+        self.metrics = MetricsRegistry(num_shards=self.config.num_shards)
+        #: Batch results awaiting their simulated completion time (serve_stream).
+        self._pending_fills = []
+        self.build_stats = [
+            stats
+            for shard in self.router.shards
+            if shard.index is not None
+            for stats in shard.index.build_stats
+        ]
+
+    # ------------------------------------------------------------------ build
+
+    @property
+    def build_time_ms(self) -> float:
+        """Shards bulk-load concurrently: the deployment is ready at the makespan."""
+        return self.router.build_time_ms()
+
+    # ---------------------------------------------------------------- lookups
+
+    def _cache_probe_stats(self, num_keys: int) -> KernelStats:
+        # The cache is a host-side hash map in front of the device: pure
+        # compute, no kernel launch.
+        return KernelStats(name="serve.cache_probe", compute_ops=num_keys, launches=0)
+
+    def point_lookup_batch(self, keys: np.ndarray) -> LookupResult:
+        keys = np.asarray(keys, dtype=self._key_dtype)
+        num = int(keys.shape[0])
+        if self.cache is None:
+            return self.router.point_lookup_batch(keys)
+
+        cached, row_agg, counts = self.cache.probe_batch(keys)
+        parts = [self._cache_probe_stats(num)]
+        uncached = np.where(~cached)[0]
+        if uncached.shape[0]:
+            served = self.router.point_lookup_batch(keys[uncached])
+            row_agg[uncached] = served.row_ids
+            counts[uncached] = served.match_counts
+            self.cache.fill_batch(keys[uncached], served.row_ids, served.match_counts)
+            parts.append(served.stats)
+        stats = combine("serve.point_lookup", parts)
+        return LookupResult(row_ids=row_agg, match_counts=counts, stats=stats)
+
+    def range_lookup_batch(self, lows: np.ndarray, highs: np.ndarray) -> RangeLookupResult:
+        # Range results are not cached: their result sets are unbounded and
+        # update invalidation would have to track interval overlaps.
+        return self.router.range_lookup_batch(
+            np.asarray(lows, dtype=self._key_dtype),
+            np.asarray(highs, dtype=self._key_dtype),
+        )
+
+    # ---------------------------------------------------------------- updates
+
+    def update_batch(
+        self,
+        insert_keys: Optional[np.ndarray] = None,
+        insert_row_ids: Optional[np.ndarray] = None,
+        delete_keys: Optional[np.ndarray] = None,
+    ) -> UpdateResult:
+        """Route the update, invalidate the cache, kick background maintenance."""
+        if self.cache is not None:
+            # Exact-key invalidation is sufficient for correctness: a cached
+            # entry (positive or negative) is only stale if its own key was
+            # inserted or deleted.  Blanket negative trimming is left to the
+            # maintenance worker.
+            if insert_keys is not None:
+                self.cache.invalidate_keys(np.asarray(insert_keys))
+            if delete_keys is not None:
+                self.cache.invalidate_keys(np.asarray(delete_keys))
+        result = self.router.update_batch(
+            insert_keys=insert_keys,
+            insert_row_ids=insert_row_ids,
+            delete_keys=delete_keys,
+        )
+        # Maintenance runs off the request path: degraded shards are queued
+        # and healed here, but the time is accounted on the worker, not on
+        # the foreground update result.
+        self.maintenance.run_cycle()
+        return result
+
+    # ----------------------------------------------------------------- memory
+
+    def memory_footprint(self) -> MemoryFootprint:
+        footprint = MemoryFootprint()
+        for shard in self.router.shards:
+            if shard.index is not None:
+                footprint.add(
+                    f"shard_{shard.shard_id}",
+                    shard.index.memory_footprint().total_bytes,
+                )
+        if self.cache is not None:
+            # Host-side entry: key + aggregate + count + LRU links.
+            footprint.add("result_cache", len(self.cache) * (self.config.key_bits // 8 + 24))
+        return footprint
+
+    def degradation_score(self) -> float:
+        """Worst degradation over all shards."""
+        scores = [
+            shard.index.degradation_score()
+            for shard in self.router.shards
+            if shard.index is not None
+        ]
+        return max(scores) if scores else 0.0
+
+    def __len__(self) -> int:
+        return self.router.num_entries
+
+    # ---------------------------------------------------------------- serving
+
+    def serve_stream(
+        self,
+        stream: RequestStream,
+        policy: Optional[BatchPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> MetricsRegistry:
+        """Serve a timed client request stream through the batching layer.
+
+        Each request is first checked against the result cache (answered at
+        host latency on a hit); the rest are coalesced per shard by the batch
+        scheduler and executed as device-sized batches.  A request's latency
+        is its queueing delay plus the device time of the batch it rode in.
+        Returns the metrics registry with per-request telemetry — the
+        deployment's own :attr:`metrics` unless a separate one is passed.
+        """
+        policy = policy or BatchPolicy(
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+        )
+        metrics = metrics or self.metrics
+        scheduler = BatchScheduler(policy)
+        keys = np.asarray(stream.keys, dtype=self._key_dtype)
+        shard_of = self.router.partitioner.shard_of(keys)
+        # Batch results become cacheable only at the batch's simulated
+        # completion time; until then they are parked here.
+        self._pending_fills = []
+
+        last_arrival = 0.0
+        for request_id, arrival_ms, key in stream:
+            last_arrival = arrival_ms
+            # Dispatch batches whose wait deadline has passed — even when this
+            # request itself will be answered from cache — then make their
+            # completed results visible before probing the cache.
+            self._execute_batches(
+                scheduler.poll(arrival_ms), metrics, client_ids=stream.client_ids
+            )
+            self._commit_pending_fills(arrival_ms)
+            if self.cache is not None:
+                entry = self.cache.get(key)
+                if entry is not None:
+                    completion = arrival_ms + self.config.cache_latency_ms
+                    metrics.record_request(self.config.cache_latency_ms, arrival_ms, completion)
+                    metrics.record_client(int(stream.client_ids[request_id]))
+                    metrics.bump(
+                        "cache_hits" if entry.match_count > 0 else "cache_negative_hits"
+                    )
+                    continue
+                metrics.bump("cache_misses")
+            due = scheduler.offer(int(shard_of[request_id]), request_id, key, arrival_ms)
+            self._execute_batches(due, metrics, client_ids=stream.client_ids)
+
+        self._execute_batches(
+            scheduler.drain(last_arrival + policy.max_wait_ms),
+            metrics,
+            client_ids=stream.client_ids,
+        )
+        self._commit_pending_fills(float("inf"))
+        return metrics
+
+    def _commit_pending_fills(self, now_ms: float) -> None:
+        """Move completed batch results into the cache (simulated-time ordering)."""
+        if self.cache is None or not self._pending_fills:
+            return
+        remaining = []
+        for completion_ms, fill_keys, row_agg, counts in self._pending_fills:
+            if completion_ms <= now_ms:
+                self.cache.fill_batch(fill_keys, row_agg, counts)
+            else:
+                remaining.append((completion_ms, fill_keys, row_agg, counts))
+        self._pending_fills = remaining
+
+    def _execute_batches(self, batches, metrics: MetricsRegistry, client_ids=None) -> None:
+        for batch in batches:
+            shard = self.router.shards[batch.shard_id]
+            batch_keys = batch.keys.astype(self._key_dtype)
+            if shard.index is None:
+                row_agg = np.full(batch.size, -1, dtype=np.int64)
+                counts = np.zeros(batch.size, dtype=np.int64)
+                exec_ms = 0.0
+            else:
+                result = shard.index.point_lookup_batch(batch_keys)
+                row_agg = result.row_ids
+                counts = result.match_counts
+                exec_ms = shard.index.lookup_time_ms(result)
+            completion_ms = batch.dispatch_ms + exec_ms
+            for position in range(batch.size):
+                arrival = float(batch.arrival_ms[position])
+                metrics.record_request(completion_ms - arrival, arrival, completion_ms)
+                if client_ids is not None:
+                    metrics.record_client(int(client_ids[batch.request_ids[position]]))
+            metrics.record_shard_batch(batch.shard_id, batch.size, exec_ms)
+            metrics.bump(f"batches_{batch.reason}")
+            if self.cache is not None:
+                self._pending_fills.append((completion_ms, batch_keys, row_agg, counts))

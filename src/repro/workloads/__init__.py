@@ -19,9 +19,12 @@ from repro.workloads.lookups import (
     uniform_lookups,
     zipf_lookups,
 )
+from repro.workloads.requests import RequestStream, zipf_request_stream
 from repro.workloads.updates import UpdateWave, update_waves
 
 __all__ = [
+    "RequestStream",
+    "zipf_request_stream",
     "KeySet",
     "generate_keys",
     "generate_distribution",

@@ -1,0 +1,558 @@
+"""Tests for the serving subsystem: partitioning, batching, caching, maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import ground_truth_point, ground_truth_range
+from repro.bench.experiments import serving_deployment
+from repro.bench.harness import cgrxu_factory, sorted_array_factory
+from repro.serve import (
+    BatchPolicy,
+    BatchScheduler,
+    HashPartitioner,
+    MaintenancePolicy,
+    MaintenanceWorker,
+    RangePartitioner,
+    ResultCache,
+    ServeConfig,
+    ShardRouter,
+    ShardedIndex,
+    make_partitioner,
+    queueable,
+    shard_skew,
+)
+from repro.serve.maintenance import QUEUEABLE_TASKS
+from repro.workloads.keygen import generate_keys
+from repro.workloads.lookups import uniform_lookups
+from repro.workloads.requests import zipf_request_stream
+
+
+@pytest.fixture(scope="module")
+def keyset():
+    return generate_keys(num_keys=2048, uniformity=0.5, key_bits=32, seed=31)
+
+
+# --------------------------------------------------------------------------
+# Partitioning
+# --------------------------------------------------------------------------
+
+
+def test_range_partitioner_is_balanced_and_total(keyset):
+    partitioner = RangePartitioner(keyset.keys, num_shards=4)
+    shard_of = partitioner.shard_of(keyset.keys)
+    assert shard_of.min() == 0 and shard_of.max() == 3
+    counts = np.bincount(shard_of, minlength=4)
+    # Equi-depth boundaries: every shard within one of a quarter of the keys.
+    assert counts.max() - counts.min() <= 2
+    # Order-preserving: larger keys never land on smaller shards.
+    order = np.argsort(keyset.keys)
+    assert np.all(np.diff(shard_of[order]) >= 0)
+
+
+def test_range_partitioner_narrow_range_scatter(keyset):
+    partitioner = RangePartitioner(keyset.keys, num_shards=8)
+    sorted_keys = np.sort(keyset.keys)
+    low, high = int(sorted_keys[10]), int(sorted_keys[40])
+    shards = partitioner.shards_for_range(low, high)
+    # 31 consecutive keys cannot span more than a fraction of 8 equi-depth shards.
+    assert 1 <= shards.shape[0] <= 2
+    # Consistency: every key inside the range routes to a listed shard.
+    inside = keyset.keys[(keyset.keys >= low) & (keyset.keys <= high)]
+    assert np.isin(partitioner.shard_of(inside), shards).all()
+
+
+def test_hash_partitioner_spreads_and_scatters_everywhere(keyset):
+    partitioner = HashPartitioner(num_shards=5)
+    shard_of = partitioner.shard_of(keyset.keys)
+    counts = np.bincount(shard_of, minlength=5)
+    assert counts.min() > 0
+    assert shard_skew(counts) < 1.25
+    np.testing.assert_array_equal(
+        partitioner.shards_for_range(0, 10), np.arange(5)
+    )
+
+
+def test_make_partitioner_rejects_unknown(keyset):
+    with pytest.raises(ValueError):
+        make_partitioner("consistent-hashing", keyset.keys, 4)
+
+
+# --------------------------------------------------------------------------
+# Shard router
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("partitioner", ["range", "hash"])
+def test_router_scatter_gather_matches_ground_truth(keyset, partitioner):
+    router = ShardRouter(
+        keyset.keys,
+        keyset.row_ids,
+        factory=sorted_array_factory(),
+        num_shards=4,
+        partitioner=partitioner,
+        key_bits=32,
+    )
+    assert int(router.shard_sizes().sum()) == len(keyset)
+    lookups = uniform_lookups(keyset, 128, seed=3)
+    result = router.point_lookup_batch(lookups)
+    agg, counts = ground_truth_point(keyset.keys, keyset.row_ids, lookups)
+    np.testing.assert_array_equal(result.row_ids, agg)
+    np.testing.assert_array_equal(result.match_counts, counts)
+    # The scatter actually fanned out: more than one shard answered.
+    assert len(router.last_calls) > 1
+
+
+def test_router_range_touches_only_overlapping_shards(keyset):
+    router = ShardRouter(
+        keyset.keys,
+        keyset.row_ids,
+        factory=sorted_array_factory(),
+        num_shards=8,
+        partitioner="range",
+        key_bits=32,
+    )
+    sorted_keys = np.sort(keyset.keys)
+    lows = sorted_keys[[5, 100]]
+    highs = sorted_keys[[25, 140]]
+    result = router.range_lookup_batch(lows, highs)
+    for position in range(2):
+        expected = ground_truth_range(
+            keyset.keys, keyset.row_ids, lows[position], highs[position]
+        )
+        np.testing.assert_array_equal(
+            np.sort(result.row_ids[position]), np.sort(expected)
+        )
+    # Narrow ranges on a range partitioner must not scatter to all 8 shards.
+    assert len(router.last_calls) < 8
+
+
+def test_router_update_rebuilds_non_updatable_shards(keyset):
+    router = ShardRouter(
+        keyset.keys,
+        keyset.row_ids,
+        factory=sorted_array_factory(),  # SA cannot update in place
+        num_shards=2,
+        partitioner="range",
+        key_bits=32,
+    )
+    builds_before = [shard.builds for shard in router.shards]
+    new_key = np.asarray([1 << 30], dtype=np.uint32)
+    update = router.update_batch(insert_keys=new_key, insert_row_ids=np.asarray([77], dtype=np.uint32))
+    assert update.inserted == 1 and update.rebuilt
+    # Only the shard owning the key was rebuilt.
+    rebuilt = [
+        shard.builds - before for shard, before in zip(router.shards, builds_before)
+    ]
+    assert sorted(rebuilt) == [0, 1]
+    result = router.point_lookup_batch(new_key)
+    np.testing.assert_array_equal(result.row_ids, [77])
+
+
+def test_router_unsorted_insert_batch_keeps_authoritative_order(keyset):
+    """Regression: same-gap inserts in arbitrary order must stay sorted."""
+    router = ShardRouter(
+        np.asarray([10, 20, 30, 40], dtype=np.uint32),
+        np.asarray([0, 1, 2, 3], dtype=np.uint32),
+        factory=sorted_array_factory(),
+        num_shards=1,
+        partitioner="range",
+        key_bits=32,
+    )
+    router.update_batch(
+        insert_keys=np.asarray([25, 22], dtype=np.uint32),
+        insert_row_ids=np.asarray([7, 8], dtype=np.uint32),
+    )
+    assert np.all(np.diff(router.shards[0].keys.astype(np.int64)) >= 0)
+    update = router.update_batch(delete_keys=np.asarray([22], dtype=np.uint32))
+    assert update.deleted == 1
+    result = router.point_lookup_batch(np.asarray([22, 25], dtype=np.uint32))
+    np.testing.assert_array_equal(result.match_counts, [0, 1])
+    np.testing.assert_array_equal(result.row_ids, [-1, 7])
+
+
+# --------------------------------------------------------------------------
+# Batch scheduler
+# --------------------------------------------------------------------------
+
+
+def test_scheduler_dispatches_full_batches_immediately():
+    scheduler = BatchScheduler(BatchPolicy(max_batch_size=4, max_wait_ms=10.0))
+    batches = []
+    for request_id in range(9):
+        batches += scheduler.offer(0, request_id, key=request_id, arrival_ms=0.1 * request_id)
+    assert [batch.size for batch in batches] == [4, 4]
+    assert all(batch.reason == "full" for batch in batches)
+    assert scheduler.pending(0) == 1
+    drained = scheduler.drain(now_ms=5.0)
+    assert len(drained) == 1 and drained[0].size == 1 and drained[0].reason == "drain"
+
+
+def test_scheduler_timeout_is_stamped_at_the_deadline():
+    scheduler = BatchScheduler(BatchPolicy(max_batch_size=100, max_wait_ms=1.0))
+    scheduler.offer(0, 0, key=7, arrival_ms=0.0)
+    # Nothing due yet at 0.5 ms.
+    assert scheduler.offer(0, 1, key=8, arrival_ms=0.5) == []
+    # The next arrival is far beyond the deadline: the batch is dispatched
+    # and stamped at deadline 1.0, not at the arrival that surfaced it.
+    due = scheduler.offer(1, 2, key=9, arrival_ms=50.0)
+    assert len(due) == 1
+    batch = due[0]
+    assert batch.reason == "timeout"
+    assert batch.dispatch_ms == pytest.approx(1.0)
+    np.testing.assert_allclose(batch.queue_delays_ms(), [1.0, 0.5])
+
+
+def test_scheduler_keeps_shards_separate():
+    scheduler = BatchScheduler(BatchPolicy(max_batch_size=2, max_wait_ms=10.0))
+    assert scheduler.offer(0, 0, key=1, arrival_ms=0.0) == []
+    assert scheduler.offer(1, 1, key=2, arrival_ms=0.1) == []
+    batches = scheduler.offer(0, 2, key=3, arrival_ms=0.2)
+    assert len(batches) == 1 and batches[0].shard_id == 0 and batches[0].size == 2
+    assert scheduler.pending(1) == 1
+
+
+def test_scheduler_poll_surfaces_due_batches_without_enqueuing():
+    scheduler = BatchScheduler(BatchPolicy(max_batch_size=100, max_wait_ms=1.0))
+    scheduler.offer(0, 0, key=7, arrival_ms=0.0)
+    assert scheduler.poll(0.5) == []  # not due yet
+    due = scheduler.poll(2.0)  # past the 1.0ms deadline, no new request needed
+    assert len(due) == 1 and due[0].reason == "timeout"
+    assert due[0].dispatch_ms == pytest.approx(1.0)
+    assert scheduler.pending(0) == 0
+
+
+def test_scheduler_rejects_time_travel():
+    scheduler = BatchScheduler(BatchPolicy())
+    scheduler.offer(0, 0, key=1, arrival_ms=5.0)
+    with pytest.raises(ValueError):
+        scheduler.offer(0, 1, key=2, arrival_ms=4.0)
+
+
+# --------------------------------------------------------------------------
+# Result cache
+# --------------------------------------------------------------------------
+
+
+def test_cache_hit_negative_hit_and_miss_accounting():
+    cache = ResultCache(capacity=4)
+    assert cache.get(1) is None  # miss
+    cache.put(1, row_agg=42, match_count=1)
+    cache.put(2, row_agg=-1, match_count=0)  # negative entry
+    assert cache.get(1).row_agg == 42  # hit
+    assert cache.get(2).match_count == 0  # negative hit
+    stats = cache.stats
+    assert (stats.hits, stats.negative_hits, stats.misses) == (1, 1, 1)
+    assert stats.hit_rate == pytest.approx(2 / 3)
+
+
+def test_cache_lru_eviction_order():
+    cache = ResultCache(capacity=2)
+    cache.put(1, 10, 1)
+    cache.put(2, 20, 1)
+    cache.get(1)  # refresh key 1: key 2 becomes LRU
+    cache.put(3, 30, 1)
+    assert 1 in cache and 3 in cache and 2 not in cache
+    assert cache.stats.evictions == 1
+
+
+def test_cache_invalidation_paths():
+    cache = ResultCache(capacity=8)
+    cache.put(1, 10, 1)
+    cache.put(2, -1, 0)
+    cache.put(3, -1, 0)
+    assert cache.invalidate_keys(np.asarray([1, 99])) == 1
+    assert cache.invalidate_negative() == 2
+    assert len(cache) == 0
+    assert cache.stats.invalidations == 3
+
+
+def test_sharded_index_cache_accounting(keyset):
+    config = ServeConfig(
+        num_shards=2, partitioner="range", key_bits=32, cache_capacity=512
+    )
+    index = ShardedIndex(keyset.keys, keyset.row_ids, config=config)
+    batch = keyset.keys[:128]
+    index.point_lookup_batch(batch)
+    before = index.cache.stats.hits
+    index.point_lookup_batch(batch)
+    # Every key of the repeated batch is answered from cache.
+    assert index.cache.stats.hits == before + 128
+    # A repeated miss is answered by the negative cache.
+    missing = np.asarray([(1 << 31) + 5], dtype=np.uint32)
+    index.point_lookup_batch(missing)
+    index.point_lookup_batch(missing)
+    assert index.cache.stats.negative_hits >= 1
+    # An insert invalidates the negative entry and the key becomes visible.
+    index.update_batch(insert_keys=missing, insert_row_ids=np.asarray([9], dtype=np.uint32))
+    result = index.point_lookup_batch(missing)
+    np.testing.assert_array_equal(result.row_ids, [9])
+
+
+# --------------------------------------------------------------------------
+# Maintenance worker
+# --------------------------------------------------------------------------
+
+
+def degraded_cgrxu_router(keyset, num_shards=2, inserts=4096, seed=1):
+    router = ShardRouter(
+        keyset.keys,
+        keyset.row_ids,
+        factory=cgrxu_factory(128),
+        num_shards=num_shards,
+        partitioner="range",
+        key_bits=32,
+    )
+    rng = np.random.default_rng(seed)
+    insert_keys = rng.integers(0, (1 << 32) - 1, size=inserts, dtype=np.uint64).astype(np.uint32)
+    router.update_batch(insert_keys=insert_keys)
+    return router
+
+
+@pytest.mark.parametrize("factory_name", ["cgrxu", "sorted_array"])
+def test_opposing_insert_delete_is_cancelled_consistently(keyset, factory_name):
+    """Regression: a key in both batch halves must net out identically on the
+    live shard index and the authoritative arrays, so a background rebuild
+    can never change query answers."""
+    factory = cgrxu_factory(128) if factory_name == "cgrxu" else sorted_array_factory()
+    config = ServeConfig(num_shards=2, partitioner="range", key_bits=32, cache_capacity=0)
+    index = ShardedIndex(keyset.keys, keyset.row_ids, factory=factory, config=config)
+    absent = np.asarray([(1 << 30) + 3], dtype=np.uint32)
+    update = index.update_batch(
+        insert_keys=absent,
+        insert_row_ids=np.asarray([999], dtype=np.uint32),
+        delete_keys=absent,
+    )
+    assert (update.inserted, update.deleted) == (0, 0)
+    before = index.point_lookup_batch(absent)
+    assert before.match_counts[0] == 0
+    # Force the rebuild path from the authoritative arrays and re-ask.
+    shard_id = int(index.router.partitioner.shard_of(absent)[0])
+    index.router.rebuild_shard(shard_id)
+    after = index.point_lookup_batch(absent)
+    assert after.match_counts[0] == 0
+
+
+def test_duplicate_heavy_delete_stays_consistent_across_rebuild():
+    """Regression: cgRXu deletes must follow duplicate groups across buckets,
+    or a maintenance rebuild changes the served answer."""
+    keys = np.concatenate(
+        [np.arange(64, dtype=np.uint32), np.full(44, 10, dtype=np.uint32)]
+    )
+    rows = np.arange(keys.shape[0], dtype=np.uint32)
+    config = ServeConfig(num_shards=1, partitioner="range", key_bits=32, cache_capacity=0)
+    index = ShardedIndex(keys, rows, factory=cgrxu_factory(128), config=config)
+    update = index.update_batch(delete_keys=np.full(5, 10, dtype=np.uint32))
+    assert update.deleted == 5
+    before = index.point_lookup_batch(np.asarray([10], dtype=np.uint32))
+    index.router.rebuild_shard(0)
+    after = index.point_lookup_batch(np.asarray([10], dtype=np.uint32))
+    assert int(before.match_counts[0]) == int(after.match_counts[0]) == 45 - 5
+    assert int(before.row_ids[0]) == int(after.row_ids[0])
+
+
+def test_duplicate_tie_order_survives_rebuild():
+    """Regression: deleting one of several duplicates must remove the same
+    occurrence on the live shard and in the rebuilt shard (row aggregates of
+    the survivors must match)."""
+    keys = np.arange(1, 65, dtype=np.uint32)  # includes key 5 with rowid 1005
+    rows = (keys + 1000).astype(np.uint32)
+    config = ServeConfig(num_shards=1, partitioner="range", key_bits=32, cache_capacity=0)
+    index = ShardedIndex(keys, rows, factory=cgrxu_factory(128), config=config)
+    index.update_batch(
+        insert_keys=np.asarray([5], dtype=np.uint32),
+        insert_row_ids=np.asarray([9999], dtype=np.uint32),
+    )
+    index.update_batch(delete_keys=np.asarray([5], dtype=np.uint32))
+    before = index.point_lookup_batch(np.asarray([5], dtype=np.uint32))
+    index.router.rebuild_shard(0)
+    after = index.point_lookup_batch(np.asarray([5], dtype=np.uint32))
+    assert int(before.match_counts[0]) == int(after.match_counts[0]) == 1
+    assert int(before.row_ids[0]) == int(after.row_ids[0])
+
+
+def test_degradation_score_matches_chain_walk(keyset):
+    router = degraded_cgrxu_router(keyset, num_shards=1)
+    shard_index = router.shards[0].index
+    walked = max(0.0, shard_index.chain_statistics()["mean_chain_nodes"] - 1.0)
+    assert shard_index.degradation_score() == pytest.approx(walked)
+    assert shard_index.degradation_score() > 0.0
+
+
+def test_maintenance_rebuilds_degraded_shards(keyset):
+    router = degraded_cgrxu_router(keyset)
+    worker = MaintenanceWorker(router, policy=MaintenancePolicy(rebuild_threshold=0.25))
+    scores = [worker.degradation_of(s) for s in range(router.num_shards)]
+    assert max(scores) >= 0.25  # the insert wave grew the chains
+
+    enqueued = worker.scan(now_ms=1.0)
+    assert enqueued, "degraded shards must enqueue rebuild tasks"
+    # Duplicate scans do not double-enqueue pending work.
+    assert worker.scan(now_ms=2.0) == []
+
+    executed = worker.run_pending(now_ms=3.0)
+    assert worker.rebuilds_performed == len(enqueued)
+    assert worker.maintenance_time_ms > 0.0
+    assert all(task.status == "done" for task in executed)
+    assert max(worker.degradation_of(s) for s in range(router.num_shards)) < 0.25
+    # Rebuilt shards still answer correctly.
+    lookups = uniform_lookups(keyset, 64, seed=9)
+    result = router.point_lookup_batch(lookups)
+    agg, counts = ground_truth_point(keyset.keys, keyset.row_ids, lookups)
+    # Inserted random keys may collide with looked-up keys only above the
+    # generated range; counts of original keys can only grow.
+    assert (result.match_counts >= counts).all()
+
+
+def test_maintenance_task_is_idempotent(keyset):
+    router = degraded_cgrxu_router(keyset)
+    worker = MaintenanceWorker(router, policy=MaintenancePolicy(rebuild_threshold=0.25))
+    worker.scan(now_ms=0.0)
+    first = worker.run_pending(now_ms=1.0)
+    assert any(task.status == "done" for task in first)
+    # Re-enqueue the same tasks on healthy shards: they complete as no-ops.
+    for task in first:
+        worker.queue.enqueue(task.name, task.shard_id, now_ms=2.0)
+    second = worker.run_pending(now_ms=3.0)
+    assert second and all(task.status == "skipped" for task in second)
+    assert worker.rebuilds_performed == len([t for t in first if t.status == "done"])
+
+
+def test_maintenance_captures_errors_instead_of_raising(keyset):
+    router = degraded_cgrxu_router(keyset)
+    worker = MaintenanceWorker(router, policy=MaintenancePolicy(rebuild_threshold=0.25, max_attempts=1))
+
+    @queueable
+    def explode(worker, task):
+        raise RuntimeError("device fell off the bus")
+
+    try:
+        task = worker.queue.enqueue("explode", 0, now_ms=0.0)
+        assert task is not None
+        worker.run_pending(now_ms=1.0)  # must not raise
+        assert task.status == "failed"
+        assert "device fell off the bus" in task.error
+    finally:
+        QUEUEABLE_TASKS.pop("explode", None)
+
+
+def test_sharded_index_update_triggers_background_rebuild(keyset):
+    config = ServeConfig(
+        num_shards=2,
+        partitioner="range",
+        key_bits=32,
+        cache_capacity=64,
+        rebuild_threshold=0.25,
+    )
+    index = ShardedIndex(keyset.keys, keyset.row_ids, factory=cgrxu_factory(128), config=config)
+    rng = np.random.default_rng(4)
+    inserts = rng.integers(0, (1 << 32) - 1, size=4096, dtype=np.uint64).astype(np.uint32)
+    update = index.update_batch(insert_keys=inserts)
+    assert update.inserted == 4096
+    report = index.maintenance.snapshot()
+    assert report["rebuilds_performed"] >= 1
+    assert report["maintenance_time_ms"] > 0.0
+    assert index.degradation_score() < 0.25
+
+
+def test_maintenance_trims_negative_heavy_cache():
+    cache = ResultCache(capacity=8)
+    cache.put(1, 10, 1)
+    for key in range(100, 105):
+        cache.put(key, -1, 0)  # five negatives against one positive
+
+    class _StubRouter:
+        shards = []
+
+    worker = MaintenanceWorker(_StubRouter(), cache=cache)
+    enqueued = worker.scan(now_ms=0.0)
+    assert [task.name for task in enqueued] == ["trim_negative_cache"]
+    executed = worker.run_pending(now_ms=1.0)
+    assert executed[0].status == "done"
+    assert cache.negative_count == 0 and 1 in cache
+    # Healthy cache: nothing to enqueue any more.
+    assert worker.scan(now_ms=2.0) == []
+
+
+def test_metrics_skew_counts_cold_shards():
+    from repro.serve import MetricsRegistry
+
+    registry = MetricsRegistry(num_shards=4)
+    registry.record_shard_batch(0, batch_size=30, busy_ms=3.0)
+    registry.record_shard_batch(1, batch_size=10, busy_ms=1.0)
+    # Shards 2 and 3 got nothing: max/mean over all four shards, not two.
+    assert registry.request_skew() == pytest.approx(30 / 10)
+    assert registry.busy_skew() == pytest.approx(3.0 / 1.0)
+
+
+# --------------------------------------------------------------------------
+# Serving streams and the bench experiment
+# --------------------------------------------------------------------------
+
+
+def test_serve_stream_records_telemetry(keyset):
+    config = ServeConfig(
+        num_shards=4,
+        partitioner="range",
+        key_bits=32,
+        cache_capacity=256,
+        max_batch_size=64,
+        max_wait_ms=0.5,
+    )
+    index = ShardedIndex(keyset.keys, keyset.row_ids, config=config)
+    stream = zipf_request_stream(
+        keyset, 1024, zipf_coefficient=1.2, requests_per_ms=64.0, miss_fraction=0.1, seed=13
+    )
+    metrics = index.serve_stream(stream)
+    assert metrics is index.metrics  # instance telemetry is the default sink
+    snapshot = metrics.snapshot()
+    assert snapshot["requests"] == 1024
+    assert snapshot["batches"] > 0
+    assert snapshot["throughput_per_s"] > 0.0
+    assert 0.0 <= snapshot["latency_p50_ms"] <= snapshot["latency_p99_ms"]
+    # The latency bound holds: no request waits longer than max_wait plus the
+    # device time of its batch.
+    assert snapshot["latency_p99_ms"] <= config.max_wait_ms + 5.0
+    assert snapshot["request_skew"] >= 1.0
+    # Every request is attributed to its client.
+    assert sum(metrics.client_requests.values()) == 1024
+    assert snapshot["unique_clients"] > 1 and snapshot["client_skew"] >= 1.0
+    # Skewed traffic makes the cache earn hits.
+    assert index.cache.stats.hits > 0
+
+
+def test_serve_stream_without_cache_serves_everything_on_device(keyset):
+    config = ServeConfig(
+        num_shards=2, partitioner="hash", key_bits=32, cache_capacity=0,
+        max_batch_size=128, max_wait_ms=0.25,
+    )
+    index = ShardedIndex(keyset.keys, keyset.row_ids, config=config)
+    stream = zipf_request_stream(keyset, 512, zipf_coefficient=1.0, seed=21)
+    metrics = index.serve_stream(stream)
+    snapshot = metrics.snapshot()
+    assert snapshot["requests"] == 512
+    assert sum(metrics.shard_requests.values()) == 512
+    assert "cache_hits" not in snapshot
+
+
+def test_serving_experiment_produces_rows():
+    result = serving_deployment(
+        num_keys=1 << 10,
+        num_requests=1 << 8,
+        shard_counts=(1, 2),
+        partitioners=("range",),
+        zipf_coefficients=(1.0,),
+        cache_capacity=128,
+        max_batch_size=64,
+        num_update_waves=2,
+    )
+    assert result.name == "serving"
+    panels = {row["panel"] for row in result.rows}
+    assert panels == {"a_sharding", "b_skew_cache", "c_maintenance"}
+    sharding_rows = [row for row in result.rows if row["panel"] == "a_sharding"]
+    assert len(sharding_rows) == 2
+    assert all(row["throughput_per_s"] > 0 for row in sharding_rows)
+    maintenance_rows = [row for row in result.rows if row["panel"] == "c_maintenance"]
+    assert maintenance_rows[-1]["rebuilds_performed"] >= 1
+    assert result.to_table()  # the harness can render it
