@@ -9,18 +9,19 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-cgrx",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Software reproduction of cgRX (ICDE 2025): hardware-accelerated "
-        "coarse-granular GPU indexing, with a sharded serving layer"
+        "coarse-granular GPU indexing, with a sharded, replicated serving layer"
     ),
     long_description=(
         "Pure Python/numpy reproduction of 'More Bang For Your Buck(et): "
         "Fast and Space-efficient Hardware-accelerated Coarse-granular "
         "Indexing on GPUs' (conf_icde_HennebergSKB25), including the cgRX/"
         "cgRXu indexes, six evaluation baselines, the paper's experiment "
-        "suite, and a serving subsystem (sharding, request batching, result "
-        "caching, background maintenance)."
+        "suite, and a serving subsystem (sharding, replication with quorum "
+        "writes and failover, request batching, result caching, background "
+        "maintenance)."
     ),
     long_description_content_type="text/plain",
     author="paper-repo-growth",

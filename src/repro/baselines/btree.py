@@ -223,6 +223,12 @@ class BPlusTreeIndex(GpuIndex):
             if insert_row_ids is None:
                 insert_row_ids = np.arange(insert_keys.shape[0], dtype=np.uint32)
             insert_row_ids = np.asarray(insert_row_ids, dtype=np.uint32)
+            # np.insert places same-position values in argument order, so an
+            # unsorted batch would break the sorted-leaf invariant (found by
+            # the differential fuzzer); sort the batch first.
+            order = np.argsort(insert_keys, kind="stable")
+            insert_keys = insert_keys[order]
+            insert_row_ids = insert_row_ids[order]
             positions = np.searchsorted(keys, insert_keys)
             keys = np.insert(keys, positions, insert_keys)
             row_ids = np.insert(row_ids, positions, insert_row_ids)

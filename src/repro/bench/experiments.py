@@ -853,6 +853,250 @@ def serving_deployment(
 
 
 # --------------------------------------------------------------------------
+# Availability: replicated deployments under failure injection
+# --------------------------------------------------------------------------
+
+
+def availability(
+    num_keys: int = 1 << 12,
+    num_requests: int = 1 << 10,
+    num_shards: int = 4,
+    replication_factors: Sequence[int] = (1, 2, 3),
+    read_policies: Sequence[str] = ("round_robin", "least_loaded"),
+    requests_per_ms: float = 32.0,
+    miss_fraction: float = 0.05,
+    max_batch_size: int = 64,
+    max_wait_ms: float = 0.5,
+    num_update_waves: int = 3,
+    seed: int = 53,
+) -> ExperimentResult:
+    """Availability experiment: the replication layer under injected failures.
+
+    Three panels, all with the result cache off so every request exercises a
+    replica and the served answers can be compared 1:1 against an oracle:
+
+    * ``a_read_policies`` — replication factor x read policy on a clean
+      stream: replicas absorb read load (per-replica skew near 1) at the
+      price of a replicated memory footprint,
+    * ``b_failover`` — the same deployment under seeded failure weather
+      (crashes, slow replicas, transient errors): failovers, unavailability
+      windows and failover latency, with the *differential oracle check*
+      that every served answer is byte-identical to a single-instance
+      sorted-array index, and
+    * ``c_quorum_resync`` — update waves against a group with crashed
+      replicas: quorum accounting, then recovery via log replay vs snapshot
+      resync, again oracle-checked after catch-up.
+    """
+    from repro.baselines.sorted_array import SortedArrayIndex
+    from repro.bench.harness import sharded_factory
+    from repro.serve.replication import FailureEvent
+    from repro.serve.router import apply_update_to_entries
+    from repro.workloads.failures import failure_schedule
+    from repro.workloads.requests import zipf_request_stream
+
+    result = ExperimentResult(
+        name="replication",
+        description="Replicated fault-tolerant serving: failover, quorum, resync",
+        parameters={
+            "num_keys": num_keys,
+            "num_requests": num_requests,
+            "num_shards": num_shards,
+            "replication_factors": list(replication_factors),
+            "read_policies": list(read_policies),
+            "max_batch_size": max_batch_size,
+            "max_wait_ms": max_wait_ms,
+        },
+    )
+    keyset = generate_keys(num_keys, uniformity=0.5, key_bits=32, seed=seed)
+    oracle = SortedArrayIndex(keyset.keys, keyset.row_ids, key_bits=32)
+
+    def deployment(
+        factor: int,
+        policy: str,
+        inner: Optional[IndexFactory] = None,
+        **serve_kwargs,
+    ):
+        factory = sharded_factory(
+            inner=inner or cgrx_factory(32),
+            num_shards=num_shards,
+            partitioner="range",
+            cache_capacity=0,
+            replication_factor=factor,
+            read_policy=policy,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            **serve_kwargs,
+        )
+        return factory(keyset, RTX_4090)
+
+    stream = zipf_request_stream(
+        keyset,
+        num_requests,
+        zipf_coefficient=1.0,
+        requests_per_ms=requests_per_ms,
+        miss_fraction=miss_fraction,
+        seed=seed + 1,
+    )
+    # The expected per-request answers are a property of the fixed stream,
+    # computed once; every row only compares bytes against them.
+    stream_expected = oracle.point_lookup_batch(stream.keys.astype(np.uint32))
+
+    def oracle_identical(served) -> bool:
+        row_agg, match_counts = served.last_answers
+        return (
+            row_agg.tobytes() == stream_expected.row_ids.tobytes()
+            and match_counts.tobytes() == stream_expected.match_counts.tobytes()
+        )
+
+    # (a) Read balancing across the replication factor x policy plane.  The
+    # unreplicated deployment ignores read policies: one baseline row only.
+    panel_a = [(1, "(single)")] if 1 in replication_factors else []
+    panel_a += [
+        (factor, policy)
+        for policy in read_policies
+        for factor in replication_factors
+        if factor > 1
+    ]
+    for factor, policy in panel_a:
+        served = deployment(factor, policy if factor > 1 else "round_robin")
+        metrics = served.serve_stream(stream, record_answers=True)
+        snapshot = metrics.snapshot()
+        result.add(
+            panel="a_read_policies",
+            read_policy=policy,
+            replication_factor=factor,
+            latency_p50_ms=snapshot["latency_p50_ms"],
+            latency_p99_ms=snapshot["latency_p99_ms"],
+            throughput_per_s=snapshot["throughput_per_s"],
+            replica_skew=snapshot.get("replica_skew", 1.0),
+            footprint_mib=served.memory_footprint().total_bytes / float(1 << 20),
+            answers_identical=oracle_identical(served),
+        )
+
+    # (b) Failure weather: crashes, slow replicas, transient errors.
+    for factor in [f for f in replication_factors if f > 1]:
+        served = deployment(factor, "round_robin")
+        events = failure_schedule(
+            num_shards,
+            factor,
+            duration_ms=stream.duration_ms,
+            crashes_per_s=80.0,
+            slowdowns_per_s=60.0,
+            transients_per_s=160.0,
+            mean_outage_ms=4.0,
+            seed=seed + 2,
+        )
+        served.inject_failures(events)
+        metrics = served.serve_stream(stream, record_answers=True)
+        snapshot = metrics.snapshot()
+        replication = served.replication_snapshot()
+        maintenance = served.maintenance.snapshot()
+        result.add(
+            panel="b_failover",
+            replication_factor=factor,
+            failure_events=len(events),
+            latency_p99_ms=snapshot["latency_p99_ms"],
+            failovers=snapshot.get("failovers", 0),
+            failover_latency_p99_ms=snapshot.get("failover_latency_p99_ms", 0.0),
+            # Merged (interval-union) figure, consistent with `availability`;
+            # the per-shard sum (overlaps double-counted) rides alongside.
+            unavailable_ms=snapshot.get("unavailable_ms", 0.0),
+            shard_outage_ms=replication["unavailable_ms"],
+            availability=snapshot.get("availability", 1.0),
+            emergency_restarts=replication.get("emergency_restarts", 0),
+            resyncs_performed=maintenance["resyncs_performed"],
+            answers_identical=oracle_identical(served),
+        )
+
+    # (c) Writes under partial outages: quorum accounting and catch-up.
+    # cgRXu shards update natively, so short-lagged replicas catch up by
+    # replaying the apply log; the log retains a single record here, so a
+    # replica that missed more than one write has to take a snapshot resync
+    # instead — both recovery paths are exercised.
+    factor = max(replication_factors)
+    served = deployment(factor, "round_robin", inner=cgrxu_factory(128), log_capacity=1)
+    rng = np.random.default_rng(seed + 3)
+    oracle_keys = keyset.keys.copy()
+    oracle_rows = keyset.row_ids.copy()
+    wave_size = max(1, num_keys // 8)
+    next_row = int(oracle_rows.max()) + 1
+    # Group counters are cumulative; report per-wave deltas.
+    previous_totals: dict = {}
+
+    def wave_delta(totals: dict, counter: str) -> int:
+        delta = int(totals.get(counter, 0)) - int(previous_totals.get(counter, 0))
+        return delta
+    for wave in range(1, num_update_waves + 1):
+        # Crash `wave - 1` replicas of every shard for the duration of the
+        # wave: wave 1 writes at full strength, later waves under-quorum.
+        now = served.clock.now_ms
+        injector = served.inject_failures(
+            [
+                FailureEvent(at_ms=now, kind="crash", shard_id=s, replica_id=r, duration_ms=5.0)
+                for s in range(num_shards)
+                for r in range(wave - 1)
+            ]
+        )
+        injector.poll(now)
+        insert_keys = rng.integers(0, (1 << 32) - 1, size=wave_size, dtype=np.uint64).astype(
+            np.uint32
+        )
+        insert_rows = np.arange(next_row, next_row + wave_size, dtype=np.uint32)
+        next_row += wave_size
+        # Two batches per wave: a replica down for the whole wave misses two
+        # log records — more than log_capacity retains — and must snapshot.
+        half = wave_size // 2
+        served.update_batch(
+            insert_keys=insert_keys[:half], insert_row_ids=insert_rows[:half]
+        )
+        served.update_batch(
+            insert_keys=insert_keys[half:], insert_row_ids=insert_rows[half:]
+        )
+        oracle_keys, oracle_rows, _ = apply_update_to_entries(
+            oracle_keys,
+            oracle_rows,
+            insert_keys,
+            insert_rows,
+            np.empty(0, dtype=np.uint32),
+        )
+        # Outages end; recovered replicas catch up via the maintenance worker.
+        injector.poll(now + 10.0)
+        served.maintenance.run_cycle(now + 10.0)
+        replication = served.replication_snapshot()
+        wave_oracle = SortedArrayIndex(oracle_keys, oracle_rows, key_bits=32)
+        # Probe the *post-update* key population (original keys AND this
+        # run's inserts) plus some guaranteed misses — inserts lost by a
+        # quorum write or a resync must not escape the differential check.
+        probe_rng = np.random.default_rng(seed + 4 + wave)
+        probe = np.concatenate(
+            [
+                probe_rng.choice(oracle_keys, size=224),
+                probe_rng.integers(0, (1 << 32) - 1, size=32, dtype=np.uint64).astype(
+                    np.uint32
+                ),
+            ]
+        )
+        expected = wave_oracle.point_lookup_batch(probe)
+        answered = served.point_lookup_batch(probe)
+        result.add(
+            panel="c_quorum_resync",
+            wave=wave,
+            crashed_replicas=wave - 1,
+            writes=wave_delta(replication, "writes"),
+            write_acks=wave_delta(replication, "write_acks"),
+            quorum_failures=wave_delta(replication, "quorum_failures"),
+            resyncs_log_replay=wave_delta(replication, "resyncs_log_replay"),
+            resyncs_snapshot=wave_delta(replication, "resyncs_snapshot"),
+            answers_identical=bool(
+                answered.row_ids.tobytes() == expected.row_ids.tobytes()
+                and answered.match_counts.tobytes() == expected.match_counts.tobytes()
+            ),
+        )
+        previous_totals = replication
+    return result
+
+
+# --------------------------------------------------------------------------
 # Running everything
 # --------------------------------------------------------------------------
 
@@ -871,6 +1115,7 @@ ALL_EXPERIMENTS = {
     "figure_17": figure_17_lookup_skew,
     "figure_18": figure_18_updates,
     "serving": serving_deployment,
+    "availability": availability,
 }
 
 
@@ -886,13 +1131,31 @@ def run_all(names: Optional[Iterable[str]] = None) -> List[ExperimentResult]:
 
 
 def main() -> None:
-    """Command-line entry point: run and print every experiment."""
+    """Command-line entry point: run and print the selected experiments.
+
+    ``--json`` (working directory) or ``--json=DIR`` additionally writes each
+    result as ``BENCH_<name>.json`` — the committed ``BENCH_*.json``
+    snapshots are produced exactly this way.  The directory is bound with
+    ``=`` so experiment names are never mistaken for an output path.
+    """
     import sys
 
-    names = sys.argv[1:] or None
+    json_dir: Optional[str] = None
+    arguments = []
+    for argument in sys.argv[1:]:
+        if argument == "--json":
+            json_dir = "."
+        elif argument.startswith("--json="):
+            json_dir = argument[len("--json="):] or "."
+        else:
+            arguments.append(argument)
+    names = arguments or None
     for result in run_all(names):
         result.print()
         print()
+        if json_dir is not None:
+            path = result.save_json(json_dir)
+            print(f"wrote {path}")
 
 
 if __name__ == "__main__":

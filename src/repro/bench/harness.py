@@ -55,6 +55,42 @@ class ExperimentResult:
         """Human-readable table of all rows."""
         return format_table(self.rows)
 
+    def to_json(self) -> str:
+        """The experiment as a JSON document (the ``BENCH_*.json`` format)."""
+        import json
+
+        def default(value: object):
+            if isinstance(value, np.integer):
+                return int(value)
+            if isinstance(value, np.floating):
+                return float(value)
+            if isinstance(value, np.bool_):
+                return bool(value)
+            if isinstance(value, np.ndarray):
+                return value.tolist()
+            raise TypeError(f"cannot serialise {type(value).__name__}")
+
+        return json.dumps(
+            {
+                "name": self.name,
+                "description": self.description,
+                "parameters": self.parameters,
+                "rows": self.rows,
+            },
+            indent=2,
+            default=default,
+        )
+
+    def save_json(self, directory: str = ".") -> str:
+        """Write the ``BENCH_<name>.json`` snapshot; returns the path."""
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"BENCH_{self.name}.json")
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+        return path
+
     def print(self) -> None:
         """Print the experiment header, parameters and table to stdout."""
         print(f"== {self.name}: {self.description}")
@@ -168,13 +204,18 @@ def sharded_factory(
     num_shards: int = 4,
     partitioner: str = "range",
     cache_capacity: int = 4096,
+    replication_factor: int = 1,
+    read_policy: str = "round_robin",
+    write_quorum: Optional[int] = None,
     **config_kwargs: object,
 ) -> IndexFactory:
     """Factory for a served :class:`~repro.serve.sharded.ShardedIndex` deployment.
 
     ``inner`` is the factory of the per-shard index type (sorted array when
     omitted); the remaining arguments configure the serving layer, so bench
-    experiments can compare served deployments against bare indexes.
+    experiments can compare served deployments against bare indexes.  With
+    ``replication_factor > 1`` every shard becomes a replica group with
+    load-balanced reads and quorum-acknowledged writes.
     """
 
     def build(keyset: KeySet, device: GpuDevice = RTX_4090) -> GpuIndex:
@@ -185,6 +226,9 @@ def sharded_factory(
             partitioner=partitioner,
             key_bits=keyset.key_bits,
             cache_capacity=cache_capacity,
+            replication_factor=replication_factor,
+            read_policy=read_policy,
+            write_quorum=write_quorum,
             **config_kwargs,
         )
         return ShardedIndex(

@@ -9,9 +9,13 @@ turns any of them into a served deployment:
   batches (the paper's lookups only amortise at large batch sizes),
 * :mod:`repro.serve.cache` — LRU result + negative cache with accounting,
 * :mod:`repro.serve.maintenance` — queueable background tasks that rebuild
-  degraded shards off the request path, and
-* :mod:`repro.serve.metrics` — p50/p99 latency, throughput, hit-rate and
-  shard-skew telemetry.
+  degraded shards and resync recovered replicas off the request path,
+* :mod:`repro.serve.replication` — per-shard replica groups: load-balanced
+  reads, quorum-acknowledged write fan-out with apply logs, failure
+  injection (crash/slow/transient) with automatic failover, and catch-up of
+  recovered replicas, and
+* :mod:`repro.serve.metrics` — p50/p99 latency, throughput, hit-rate,
+  shard-skew and availability/failover telemetry.
 
 :class:`~repro.serve.sharded.ShardedIndex` composes all of it behind the
 :class:`~repro.baselines.base.GpuIndex` interface.
@@ -33,6 +37,18 @@ from repro.serve.partition import (
     RangePartitioner,
     make_partitioner,
 )
+from repro.serve.replication import (
+    DOWN,
+    HEALTHY,
+    RECOVERING,
+    FailureEvent,
+    FailureInjector,
+    Replica,
+    ReplicaGroup,
+    ReplicatedShardRouter,
+    ReplicationConfig,
+    SimulatedClock,
+)
 from repro.serve.router import ShardRouter
 from repro.serve.sharded import ServeConfig, ShardedIndex
 
@@ -41,7 +57,10 @@ __all__ = [
     "BatchPolicy",
     "BatchScheduler",
     "CacheStats",
-    "ResultCache",
+    "DOWN",
+    "FailureEvent",
+    "FailureInjector",
+    "HEALTHY",
     "HashPartitioner",
     "LatencyHistogram",
     "MaintenancePolicy",
@@ -50,10 +69,17 @@ __all__ = [
     "MaintenanceWorker",
     "MetricsRegistry",
     "Partitioner",
+    "RECOVERING",
     "RangePartitioner",
+    "Replica",
+    "ReplicaGroup",
+    "ReplicatedShardRouter",
+    "ReplicationConfig",
+    "ResultCache",
     "ServeConfig",
     "ShardRouter",
     "ShardedIndex",
+    "SimulatedClock",
     "make_partitioner",
     "queueable",
     "shard_skew",

@@ -109,6 +109,37 @@ def rebuild_shard(worker: "MaintenanceWorker", task: MaintenanceTask) -> Optiona
 
 
 @queueable
+def resync_replicas(worker: "MaintenanceWorker", task: MaintenanceTask) -> Optional[KernelStats]:
+    """Catch up every recovering replica of one shard's replica group.
+
+    Recovered processes re-enter the group in the ``RECOVERING`` state and
+    may not serve reads until they replayed the apply log (or took a fresh
+    snapshot); this task performs that catch-up off the request path.
+    Idempotent: a shard whose replicas are all healthy (or that is not
+    replicated at all) completes as a no-op.
+    """
+    shard = worker.router.shards[task.shard_id]
+    group = shard.index
+    recovering = getattr(group, "recovering_replicas", None)
+    if not callable(recovering):
+        return None
+    replicas = recovering()
+    if not replicas:
+        return None
+    parts = []
+    for replica in replicas:
+        # Count like rebuilds_performed: no-op completions excluded.  A warm
+        # restart that missed no writes flips state without replay/rebuild.
+        did_work = replica.applied_lsn != group.lsn or replica.index is None
+        parts.append(group.resync(replica, worker.now_ms))
+        if did_work:
+            worker.resyncs_performed += 1
+    from repro.gpu.kernels import combine
+
+    return combine(f"serve.resync_shard_{task.shard_id}", parts)
+
+
+@queueable
 def trim_negative_cache(worker: "MaintenanceWorker", task: MaintenanceTask) -> Optional[KernelStats]:
     """Evict negative entries when they crowd out the positive ones.
 
@@ -141,6 +172,10 @@ class MaintenanceWorker:
         self.maintenance_time_ms: float = 0.0
         #: Number of rebuilds actually performed (no-op completions excluded).
         self.rebuilds_performed: int = 0
+        #: Number of replica resyncs performed (replicated deployments).
+        self.resyncs_performed: int = 0
+        #: Simulated time of the cycle currently executing (for task bodies).
+        self.now_ms: float = 0.0
 
     # ------------------------------------------------------------------- scan
 
@@ -159,6 +194,11 @@ class MaintenanceWorker:
                 task = self.queue.enqueue("rebuild_shard", shard.shard_id, now_ms)
                 if task is not None:
                     enqueued.append(task)
+            recovering = getattr(shard.index, "recovering_replicas", None)
+            if callable(recovering) and recovering():
+                task = self.queue.enqueue("resync_replicas", shard.shard_id, now_ms)
+                if task is not None:
+                    enqueued.append(task)
         if (
             self.cache is not None
             and len(self.cache) > 0
@@ -175,6 +215,7 @@ class MaintenanceWorker:
     def run_pending(self, now_ms: float = 0.0) -> List[MaintenanceTask]:
         """Execute every pending task, capturing failures on the task record."""
         executed: List[MaintenanceTask] = []
+        self.now_ms = float(now_ms)
         for task in self.queue.pending():
             body = QUEUEABLE_TASKS[task.name]
             task.attempts += 1
@@ -217,5 +258,6 @@ class MaintenanceWorker:
             "tasks_skipped": len(self.queue.by_status("skipped")),
             "tasks_failed": len(self.queue.by_status("failed")),
             "rebuilds_performed": self.rebuilds_performed,
+            "resyncs_performed": self.resyncs_performed,
             "maintenance_time_ms": self.maintenance_time_ms,
         }

@@ -82,6 +82,12 @@ class MetricsRegistry:
     #: Timestamps bounding the served stream (for throughput).
     first_arrival_ms: Optional[float] = None
     last_completion_ms: Optional[float] = None
+    #: Detection-plus-retry latency of every read failover (replication).
+    failover_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: Closed windows during which a shard had no available replica.
+    unavailability_windows: List[tuple] = field(default_factory=list)
+    #: Requests served per replica, keyed ``"shard:replica"``.
+    replica_requests: Dict[str, int] = field(default_factory=dict)
 
     # --------------------------------------------------------------- recording
 
@@ -100,6 +106,19 @@ class MetricsRegistry:
         self.client_requests[int(client_id)] = (
             self.client_requests.get(int(client_id), 0) + 1
         )
+
+    def record_failover(self, latency_ms: float) -> None:
+        """One read failed over to another replica (or emergency-restarted)."""
+        self.failover_latency.record(latency_ms)
+        self.bump("failovers")
+
+    def record_unavailability(self, start_ms: float, end_ms: float) -> None:
+        """A shard had no available replica over ``[start_ms, end_ms]``."""
+        self.unavailability_windows.append((float(start_ms), float(end_ms)))
+
+    def record_replica_request(self, shard_id: int, replica_id: int, amount: int = 1) -> None:
+        key = f"{int(shard_id)}:{int(replica_id)}"
+        self.replica_requests[key] = self.replica_requests.get(key, 0) + int(amount)
 
     def record_shard_batch(self, shard_id: int, batch_size: int, busy_ms: float) -> None:
         self.shard_requests[int(shard_id)] = (
@@ -146,6 +165,46 @@ class MetricsRegistry:
             return 1.0
         return shard_skew(self._shard_loads(self.shard_busy_ms))
 
+    def replica_skew(self) -> float:
+        """Load imbalance across the replicas that served at least one request.
+
+        Replicas the registry never saw (e.g. down the whole stream) are not
+        in the denominator; :meth:`ReplicatedShardRouter.replica_load_skew`
+        reports the membership-aware figure.
+        """
+        if not self.replica_requests:
+            return 1.0
+        return shard_skew(np.asarray(list(self.replica_requests.values())))
+
+    @property
+    def unavailable_ms(self) -> float:
+        """Total simulated time some shard had no available replica.
+
+        Windows from different shards may overlap; they are merged (interval
+        union) so concurrent outages are not double-counted against the span.
+        """
+        if not self.unavailability_windows:
+            return 0.0
+        merged_total = 0.0
+        current_start, current_end = None, None
+        for start, end in sorted(self.unavailability_windows):
+            if current_end is None or start > current_end:
+                if current_end is not None:
+                    merged_total += current_end - current_start
+                current_start, current_end = start, end
+            else:
+                current_end = max(current_end, end)
+        merged_total += current_end - current_start
+        return float(merged_total)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the served span with every shard available (1.0 = always)."""
+        span = self.span_ms
+        if span <= 0.0:
+            return 1.0
+        return max(0.0, 1.0 - self.unavailable_ms / span)
+
     def snapshot(self) -> dict:
         """Flat report of the registry, as consumed by the serving experiment."""
         snapshot = {
@@ -165,6 +224,14 @@ class MetricsRegistry:
             snapshot["client_skew"] = shard_skew(
                 np.asarray(list(self.client_requests.values()))
             )
+        if self.replica_requests:
+            snapshot["replica_skew"] = self.replica_skew()
+        if len(self.failover_latency):
+            snapshot["failover_latency_mean_ms"] = self.failover_latency.mean_ms
+            snapshot["failover_latency_p99_ms"] = self.failover_latency.percentile(99.0)
+        if self.unavailability_windows:
+            snapshot["unavailable_ms"] = self.unavailable_ms
+            snapshot["availability"] = self.availability
         for counter, value in sorted(self.counters.items()):
             if counter not in ("requests", "batches"):
                 snapshot[counter] = value

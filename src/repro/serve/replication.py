@@ -1,0 +1,950 @@
+"""Per-shard replica groups: load-balanced reads, quorum writes, failover.
+
+PR 1's :class:`~repro.serve.router.ShardRouter` gave every key range exactly
+one index instance — a single point of failure per shard, and no way to
+spread read load.  This module puts a :class:`ReplicaGroup` behind each
+shard: ``replication_factor`` identical index instances built from the same
+authoritative entry arrays.
+
+* **Reads** are balanced over the healthy replicas by a pluggable policy
+  (round-robin or least-loaded) and *fail over*: a replica throwing a
+  transient error is skipped at a small detection penalty, and a group whose
+  replicas are all down performs an emergency restart (snapshot rebuild) so
+  answers are never lost — only latency is.
+* **Writes** fan out to every up replica and are acknowledged once a quorum
+  (majority by default) applied them.  Every update batch is appended to the
+  group's *apply log* with a monotone LSN; replicas that were down during a
+  write lag behind and are barred from serving reads until they catch up.
+* **Catch-up** replays the apply log when the outage was short, and falls
+  back to a full snapshot resync (rebuild from the authoritative arrays,
+  which track live-index semantics via ``export_entries``) when the log was
+  trimmed past the replica's position.
+* **Failure injection** runs on the simulated clock: a
+  :class:`FailureInjector` consumes a schedule of crash / slow-replica /
+  transient-error events (see :func:`repro.workloads.failures.failure_schedule`)
+  and drives the health-state transitions ``HEALTHY -> DOWN -> RECOVERING ->
+  HEALTHY`` that the router and maintenance worker react to.
+* **Rebalancing**: replicas can join (snapshot-built, immediately serving)
+  and leave at runtime; the read policies rebalance automatically because
+  they only ever consider the current membership.
+
+A :class:`ReplicaGroup` deliberately implements the slice of the
+:class:`~repro.baselines.base.GpuIndex` surface the serving layer consumes
+(lookups, updates, ``export_entries``, footprint, degradation), so
+:class:`ReplicatedShardRouter` can drop it into the existing scatter/gather
+machinery unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import (
+    GpuIndex,
+    LookupResult,
+    RangeLookupResult,
+    UnsupportedOperation,
+    UpdateResult,
+    cancel_opposing_updates,
+)
+from repro.gpu.cost_model import CostModel
+from repro.gpu.device import RTX_4090, GpuDevice
+from repro.gpu.kernels import KernelStats, combine
+from repro.gpu.memory import MemoryFootprint
+from repro.serve.router import ShardFactory, ShardRouter, apply_update_to_entries
+from repro.workloads.keygen import KeySet
+
+# Replica health states.
+HEALTHY = "healthy"
+DOWN = "down"
+RECOVERING = "recovering"
+
+
+class SimulatedClock:
+    """Monotone simulated time shared by a deployment's failure machinery."""
+
+    def __init__(self, now_ms: float = 0.0) -> None:
+        self.now_ms = float(now_ms)
+
+    def advance(self, to_ms: float) -> float:
+        """Move time forward (never backward); returns the current time."""
+        self.now_ms = max(self.now_ms, float(to_ms))
+        return self.now_ms
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """How a shard's replica group is sized and operated."""
+
+    #: Number of replicas per shard.
+    replication_factor: int = 3
+    #: Read-balancing policy: ``"round_robin"`` or ``"least_loaded"``.
+    read_policy: str = "round_robin"
+    #: Replicas that must apply a write before it counts as acknowledged
+    #: (majority of the replication factor when ``None``).
+    write_quorum: Optional[int] = None
+    #: Apply-log records retained for catch-up; a replica lagging further
+    #: behind is resynced from a full snapshot instead of log replay.
+    log_capacity: int = 64
+    #: Host-side latency of detecting a failed read attempt and retrying on
+    #: the next replica.
+    failover_penalty_ms: float = 0.05
+    #: Latency of an emergency snapshot restart when no replica is available.
+    restart_penalty_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if self.read_policy not in ("round_robin", "least_loaded"):
+            raise ValueError(
+                f"unknown read_policy {self.read_policy!r}; "
+                "expected 'round_robin' or 'least_loaded'"
+            )
+        if self.write_quorum is not None and not (
+            1 <= self.write_quorum <= self.replication_factor
+        ):
+            raise ValueError("write_quorum must be within [1, replication_factor]")
+        if self.log_capacity < 0:
+            raise ValueError("log_capacity must be >= 0")
+
+    @property
+    def quorum(self) -> int:
+        """Effective write quorum (majority unless configured explicitly)."""
+        if self.write_quorum is not None:
+            return self.write_quorum
+        return self.replication_factor // 2 + 1
+
+
+@dataclass
+class LogRecord:
+    """One update batch in a group's apply log."""
+
+    lsn: int
+    insert_keys: np.ndarray
+    insert_row_ids: np.ndarray
+    delete_keys: np.ndarray
+
+
+@dataclass
+class Replica:
+    """One replica of a shard: its index instance plus health bookkeeping."""
+
+    replica_id: int
+    shard_id: int
+    index: Optional[GpuIndex] = None
+    state: str = HEALTHY
+    #: LSN of the last update batch this replica applied.
+    applied_lsn: int = 0
+    #: Execution-time multiplier (> 1.0 while a slow-replica fault is active).
+    slow_factor: float = 1.0
+    #: Number of upcoming read attempts that raise a transient error.
+    pending_transient: int = 0
+    #: Accumulated simulated device-busy time (drives least-loaded balancing).
+    busy_ms: float = 0.0
+    #: Requests served (drives the per-replica load-skew metric).
+    reads_served: int = 0
+    builds: int = 0
+    #: Outstanding overlapping outages; the replica only starts recovering
+    #: when the *last* one ends.
+    outage_depth: int = 0
+    #: Process incarnation, bumped by every resync; outage-end events that
+    #: target an earlier incarnation are stale and must be ignored.
+    incarnation: int = 0
+    #: Factors of the currently active (possibly overlapping) slowdowns;
+    #: ``slow_factor`` always holds their maximum, 1.0 when none are active.
+    active_slowdowns: List[float] = field(default_factory=list)
+
+    @property
+    def available(self) -> bool:
+        """Whether the replica may serve reads (up *and* fully caught up)."""
+        return self.state == HEALTHY and self.index is not None
+
+
+class ReplicaGroup:
+    """A shard's replica set behind the ``GpuIndex`` call surface.
+
+    The group owns the shard's authoritative ``(keys, row_ids)`` arrays (kept
+    in live-index tie-order via ``export_entries`` after native updates, the
+    same discipline the shard router uses) plus the apply log.  Invariant:
+    every replica in the ``HEALTHY`` state has applied every logged update,
+    so *any* available replica answers reads identically — which is what
+    makes read balancing and failover answer-preserving.
+    """
+
+    #: The group handles update routing internally (per-replica native
+    #: updates or rebuilds), so the router never rebuild-falls-back on it.
+    supports_updates = True
+
+    def __init__(
+        self,
+        shard_id: int,
+        keys: np.ndarray,
+        row_ids: np.ndarray,
+        factory: ShardFactory,
+        config: Optional[ReplicationConfig] = None,
+        clock: Optional[SimulatedClock] = None,
+        device: GpuDevice = RTX_4090,
+        key_bits: int = 64,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.config = config or ReplicationConfig()
+        self.clock = clock or SimulatedClock()
+        self.device = device
+        self.factory = factory
+        self.key_bits = key_bits
+        self._key_dtype = np.uint32 if key_bits == 32 else np.uint64
+        self.cost_model = CostModel(device)
+
+        #: Authoritative entries, sorted by key (live-index tie-order).
+        self.keys = np.asarray(keys, dtype=self._key_dtype).copy()
+        self.row_ids = np.asarray(row_ids, dtype=np.uint32).copy()
+
+        #: Apply log: the most recent ``log_capacity`` update batches.
+        self.log: List[LogRecord] = []
+        self.lsn = 0
+
+        #: Telemetry sink; the deployment points this at its registry.
+        self.metrics = None
+        self.counters: Dict[str, int] = {}
+        #: Closed unavailability windows ``(start_ms, end_ms)``.
+        self.unavailability_windows: List[Tuple[float, float]] = []
+        self._unavailable_since: Optional[float] = None
+        self._rr_cursor = 0
+        #: Host-side overhead and slowdown of the most recent read call,
+        #: consumed by :meth:`lookup_time_ms`.
+        self.last_overhead_ms = 0.0
+        self.last_slow_factor = 1.0
+
+        self.replicas: List[Replica] = []
+        self._next_replica_id = 0
+        self.build_stats: List[KernelStats] = []
+        for _ in range(self.config.replication_factor):
+            replica = self._new_replica()
+            if replica.index is not None:  # empty groups build no indexes
+                self.build_stats.extend(replica.index.build_stats)
+
+    # ------------------------------------------------------------- membership
+
+    def _new_replica(self) -> Replica:
+        replica = Replica(replica_id=self._next_replica_id, shard_id=self.shard_id)
+        self._next_replica_id += 1
+        self._build_replica(replica)
+        replica.applied_lsn = self.lsn
+        self.replicas.append(replica)
+        return replica
+
+    def _build_replica(self, replica: Replica) -> List[KernelStats]:
+        """(Re)build one replica's index from the authoritative snapshot."""
+        if self.keys.size == 0:
+            replica.index = None
+            replica.builds += 1
+            return []
+        keyset = KeySet(
+            keys=self.keys.copy(),
+            row_ids=self.row_ids.copy(),
+            key_bits=self.key_bits,
+            description=f"shard {self.shard_id} replica {replica.replica_id}",
+        )
+        replica.index = self.factory(keyset, self.device)
+        replica.builds += 1
+        return list(replica.index.build_stats)
+
+    def replica(self, replica_id: int) -> Replica:
+        for replica in self.replicas:
+            if replica.replica_id == replica_id:
+                return replica
+        raise KeyError(f"shard {self.shard_id} has no replica {replica_id}")
+
+    def available_replicas(self) -> List[Replica]:
+        return [replica for replica in self.replicas if replica.available]
+
+    def recovering_replicas(self) -> List[Replica]:
+        return [replica for replica in self.replicas if replica.state == RECOVERING]
+
+    def add_replica(self) -> Replica:
+        """Join: build a fresh replica from the current snapshot and serve."""
+        replica = self._new_replica()
+        self._bump("joins")
+        self._maybe_close_window()
+        return replica
+
+    def remove_replica(self, replica_id: int) -> Replica:
+        """Leave: drop a replica from the group (never the last available one)."""
+        replica = self.replica(replica_id)
+        remaining = [r for r in self.available_replicas() if r.replica_id != replica_id]
+        if replica.available and not remaining:
+            raise ValueError(
+                f"cannot remove replica {replica_id}: it is the last available "
+                f"replica of shard {self.shard_id}"
+            )
+        self.replicas.remove(replica)
+        self._bump("leaves")
+        return replica
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.keys.shape[0])
+
+    # ----------------------------------------------------------- health / I/O
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + int(amount)
+
+    def crash(self, replica_id: int, now_ms: float) -> None:
+        """Take a replica down (its in-memory index survives for warm restart)."""
+        replica = self.replica(replica_id)
+        replica.outage_depth += 1
+        if replica.state == DOWN:
+            return  # overlapping crash: the outage deepens, no new transition
+        replica.state = DOWN
+        self._bump("crashes")
+        if not self.available_replicas() and self._unavailable_since is None:
+            self._unavailable_since = float(now_ms)
+
+    def end_outage(self, replica_id: int, now_ms: float) -> None:
+        """One outage of a crashed replica ended; it starts recovering only
+        when no overlapping outage is still active, and must resync before
+        serving either way."""
+        replica = self.replica(replica_id)
+        if replica.state == DOWN:
+            replica.outage_depth = max(0, replica.outage_depth - 1)
+            if replica.outage_depth == 0:
+                replica.state = RECOVERING
+
+    def set_slow(self, replica_id: int, slow_factor: float) -> None:
+        """Apply a slowdown; overlapping slowdowns hold the worst active factor."""
+        replica = self.replica(replica_id)
+        replica.active_slowdowns.append(max(1.0, float(slow_factor)))
+        replica.slow_factor = max(replica.active_slowdowns)
+        self._bump("slowdowns")
+
+    def clear_slow(self, replica_id: int, slow_factor: Optional[float] = None) -> None:
+        """End one slowdown (by factor, or the worst when unspecified); the
+        replica's speed recovers to the worst *still-active* slowdown."""
+        try:
+            replica = self.replica(replica_id)
+        except KeyError:
+            return  # the replica left the group while slowed
+        if not replica.active_slowdowns:
+            return
+        ended = (
+            max(1.0, float(slow_factor))
+            if slow_factor is not None and max(1.0, float(slow_factor)) in replica.active_slowdowns
+            else max(replica.active_slowdowns)
+        )
+        replica.active_slowdowns.remove(ended)
+        replica.slow_factor = (
+            max(replica.active_slowdowns) if replica.active_slowdowns else 1.0
+        )
+
+    def inject_transient(self, replica_id: int, count: int = 1) -> None:
+        self.replica(replica_id).pending_transient += int(count)
+
+    def _maybe_close_window(self) -> None:
+        """Close the open unavailability window if a replica is available again."""
+        if self._unavailable_since is not None and self.available_replicas():
+            window = (self._unavailable_since, self.clock.now_ms)
+            self.unavailability_windows.append(window)
+            if self.metrics is not None:
+                self.metrics.record_unavailability(*window)
+            self._unavailable_since = None
+
+    def flush_unavailability(self, now_ms: float) -> None:
+        """Report the open unavailability window up to ``now_ms`` and keep it
+        open from there, so end-of-stream telemetry includes outages that are
+        still in progress without ever double-counting them."""
+        if self._unavailable_since is None or now_ms <= self._unavailable_since:
+            return
+        window = (self._unavailable_since, float(now_ms))
+        self.unavailability_windows.append(window)
+        if self.metrics is not None:
+            self.metrics.record_unavailability(*window)
+        self._unavailable_since = float(now_ms)
+
+    # ----------------------------------------------------------------- resync
+
+    def resync(self, replica: Replica, now_ms: Optional[float] = None) -> KernelStats:
+        """Catch a recovered replica up: log replay if possible, else snapshot.
+
+        Idempotent: an already-healthy, caught-up replica resyncs as a no-op.
+        """
+        now_ms = self.clock.now_ms if now_ms is None else float(now_ms)
+        self.clock.advance(now_ms)
+        parts: List[KernelStats] = []
+        if replica.applied_lsn == self.lsn and replica.available:
+            return combine(f"serve.resync_s{self.shard_id}r{replica.replica_id}", parts)
+        replica.state = RECOVERING
+
+        log_start = self.log[0].lsn if self.log else self.lsn + 1
+        replayable = (
+            replica.index is not None
+            and replica.index.supports_updates
+            and replica.applied_lsn + 1 >= log_start
+        )
+        if replayable and replica.applied_lsn < self.lsn:
+            for record in self.log:
+                if record.lsn <= replica.applied_lsn:
+                    continue
+                result = replica.index.update_batch(
+                    insert_keys=record.insert_keys if record.insert_keys.size else None,
+                    insert_row_ids=(
+                        record.insert_row_ids if record.insert_keys.size else None
+                    ),
+                    delete_keys=record.delete_keys if record.delete_keys.size else None,
+                )
+                parts.append(result.stats)
+            self._bump("resyncs_log_replay")
+        elif replica.applied_lsn < self.lsn or replica.index is None:
+            parts.extend(self._build_replica(replica))
+            self._bump("resyncs_snapshot")
+        replica.applied_lsn = self.lsn
+        replica.state = HEALTHY
+        # A resync is a (re)start: it supersedes any outage still scheduled
+        # against the old process (emergency restarts cut outages short),
+        # outage-end events aimed at that process become stale, and faults
+        # injected against it (slowdowns, pending transient errors) die with
+        # the process.
+        replica.outage_depth = 0
+        replica.incarnation += 1
+        replica.active_slowdowns.clear()
+        replica.slow_factor = 1.0
+        replica.pending_transient = 0
+        self._maybe_close_window()
+        return combine(f"serve.resync_s{self.shard_id}r{replica.replica_id}", parts)
+
+    # ------------------------------------------------------------------ reads
+
+    def _read_candidates(self, exclude: Iterable[int] = ()) -> List[Replica]:
+        excluded = set(exclude)
+        return [
+            replica
+            for replica in self.available_replicas()
+            if replica.replica_id not in excluded
+        ]
+
+    def _choose(self, candidates: List[Replica]) -> Replica:
+        if self.config.read_policy == "least_loaded":
+            return min(candidates, key=lambda r: (r.busy_ms * r.slow_factor, r.replica_id))
+        pick = candidates[self._rr_cursor % len(candidates)]
+        self._rr_cursor += 1
+        return pick
+
+    def _emergency_restart(self) -> Replica:
+        """No replica is available: snapshot-restart one so reads never fail."""
+        now = self.clock.now_ms
+        if self._unavailable_since is None:
+            self._unavailable_since = now
+        candidates = [r for r in self.replicas if r.state in (DOWN, RECOVERING)]
+        if not candidates:
+            raise RuntimeError(f"shard {self.shard_id} has no replicas at all")
+        replica = min(candidates, key=lambda r: r.replica_id)
+        self.clock.advance(now + self.config.restart_penalty_ms)
+        self.resync(replica)  # closes the unavailability window
+        self._bump("emergency_restarts")
+        self.last_overhead_ms += self.config.restart_penalty_ms
+        if self.metrics is not None:
+            self.metrics.record_failover(self.config.restart_penalty_ms)
+        return replica
+
+    def _serve_read(self, call, num_requests: int):
+        """Pick a replica, failing over past transient errors, and call it."""
+        self.last_overhead_ms = 0.0
+        self.last_slow_factor = 1.0
+        tried: List[int] = []
+        while True:
+            candidates = self._read_candidates(exclude=tried)
+            if not candidates:
+                if tried:  # every available replica errored: retry the round
+                    tried = []
+                    continue
+                replica = self._emergency_restart()
+            else:
+                replica = self._choose(candidates)
+            if replica.pending_transient > 0:
+                replica.pending_transient -= 1
+                tried.append(replica.replica_id)
+                self._bump("failovers")
+                self._bump("transient_errors")
+                self.last_overhead_ms += self.config.failover_penalty_ms
+                if self.metrics is not None:
+                    self.metrics.record_failover(self.config.failover_penalty_ms)
+                continue
+            result = call(replica.index)
+            self.last_slow_factor = replica.slow_factor
+            replica.reads_served += int(num_requests)
+            replica.busy_ms += (
+                self.cost_model.kernel_time_ms(result.stats) * replica.slow_factor
+            )
+            self._bump("reads", num_requests)
+            if self.metrics is not None:
+                self.metrics.record_replica_request(
+                    self.shard_id, replica.replica_id, num_requests
+                )
+            return result
+
+    def point_lookup_batch(self, keys: np.ndarray) -> LookupResult:
+        keys = np.asarray(keys, dtype=self._key_dtype)
+        if self.keys.size == 0:
+            self.last_overhead_ms = 0.0
+            self.last_slow_factor = 1.0
+            return LookupResult(
+                row_ids=np.full(keys.shape[0], -1, dtype=np.int64),
+                match_counts=np.zeros(keys.shape[0], dtype=np.int64),
+                stats=KernelStats(name="serve.replica_point_lookup", launches=0),
+            )
+        return self._serve_read(
+            lambda index: index.point_lookup_batch(keys), int(keys.shape[0])
+        )
+
+    def range_lookup_batch(self, lows: np.ndarray, highs: np.ndarray) -> RangeLookupResult:
+        lows = np.asarray(lows, dtype=self._key_dtype)
+        highs = np.asarray(highs, dtype=self._key_dtype)
+        if self.keys.size == 0:
+            self.last_overhead_ms = 0.0
+            self.last_slow_factor = 1.0
+            return RangeLookupResult(
+                row_ids=[np.empty(0, dtype=np.uint32) for _ in range(lows.shape[0])],
+                stats=KernelStats(name="serve.replica_range_lookup", launches=0),
+            )
+        return self._serve_read(
+            lambda index: index.range_lookup_batch(lows, highs), int(lows.shape[0])
+        )
+
+    def lookup_time_ms(self, result) -> float:
+        """Simulated time of the last read: device time of the replica that
+        served it (scaled by its slow factor) plus failover overhead."""
+        return (
+            self.cost_model.kernel_time_ms(result.stats) * self.last_slow_factor
+            + self.last_overhead_ms
+        )
+
+    # ----------------------------------------------------------------- writes
+
+    def update_batch(
+        self,
+        insert_keys: Optional[np.ndarray] = None,
+        insert_row_ids: Optional[np.ndarray] = None,
+        delete_keys: Optional[np.ndarray] = None,
+    ) -> UpdateResult:
+        """Fan a write out to every up replica; acknowledge at quorum.
+
+        Down replicas miss the write and lag behind (their ``applied_lsn``
+        stays put); :meth:`resync` brings them back.  The returned stats sum
+        the work of every replica that applied — replicas apply concurrently,
+        so the deployment-level makespan accounting stays with the caller.
+        """
+        insert_keys = (
+            np.asarray(insert_keys, dtype=self._key_dtype)
+            if insert_keys is not None
+            else np.empty(0, dtype=self._key_dtype)
+        )
+        if insert_row_ids is None:
+            insert_row_ids = np.arange(insert_keys.shape[0], dtype=np.uint32)
+        insert_row_ids = np.asarray(insert_row_ids, dtype=np.uint32)
+        delete_keys = (
+            np.asarray(delete_keys, dtype=self._key_dtype)
+            if delete_keys is not None
+            else np.empty(0, dtype=self._key_dtype)
+        )
+        # The router already cancels opposing pairs before routing (a no-op
+        # here on that path); repeating it keeps *direct* group use on the
+        # same batch semantics as every other update surface.
+        insert_keys, insert_row_ids, delete_keys = cancel_opposing_updates(
+            insert_keys, insert_row_ids, delete_keys
+        )
+
+        self.lsn += 1
+        self.log.append(
+            LogRecord(
+                lsn=self.lsn,
+                insert_keys=insert_keys.copy(),
+                insert_row_ids=insert_row_ids.copy(),
+                delete_keys=delete_keys.copy(),
+            )
+        )
+        if len(self.log) > self.config.log_capacity:
+            del self.log[: len(self.log) - self.config.log_capacity]
+
+        parts: List[KernelStats] = []
+        acked = 0
+        any_rebuilt = False
+        removed: Optional[int] = None
+        up = [replica for replica in self.replicas if replica.state == HEALTHY]
+        native = bool(up) and up[0].index is not None and up[0].index.supports_updates
+
+        if not native:
+            # Rebuild-fallback replicas (or a fully-down group) need the
+            # post-update authoritative snapshot maintained here.
+            self.keys, self.row_ids, removed = apply_update_to_entries(
+                self.keys, self.row_ids, insert_keys, insert_row_ids, delete_keys
+            )
+
+        first_result = None
+        for replica in up:
+            if native:
+                result = replica.index.update_batch(
+                    insert_keys=insert_keys if insert_keys.size else None,
+                    insert_row_ids=insert_row_ids if insert_keys.size else None,
+                    delete_keys=delete_keys if delete_keys.size else None,
+                )
+                parts.append(result.stats)
+                any_rebuilt = any_rebuilt or result.rebuilt
+                if first_result is None:
+                    first_result = result
+            else:
+                parts.extend(self._build_replica(replica))
+                any_rebuilt = True
+            replica.applied_lsn = self.lsn
+            acked += 1
+
+        if native:
+            # Snapshot a natively-updated replica as the authoritative state
+            # so a later rebuild/resync reproduces the live tie-order of
+            # duplicates — and the sorted-array maintenance would then be
+            # redundant work (mirrors the router's update path).
+            removed = first_result.deleted
+            try:
+                self.keys, self.row_ids = up[0].index.export_entries()
+            except UnsupportedOperation:
+                self.keys, self.row_ids, removed = apply_update_to_entries(
+                    self.keys, self.row_ids, insert_keys, insert_row_ids, delete_keys
+                )
+
+        self._bump("writes")
+        self._bump("write_acks", acked)
+        if acked < min(self.config.quorum, len(self.replicas)):
+            self._bump("quorum_failures")
+            if self.metrics is not None:
+                self.metrics.bump("quorum_failures")
+
+        stats = combine(f"serve.replicated_update_s{self.shard_id}", parts)
+        return UpdateResult(
+            inserted=int(insert_keys.shape[0]),
+            deleted=removed,
+            stats=stats,
+            rebuilt=any_rebuilt,
+        )
+
+    def reload(self, keys: np.ndarray, row_ids: np.ndarray) -> List[KernelStats]:
+        """Replace the authoritative snapshot and rebuild every up replica.
+
+        Used by the maintenance worker to heal a degraded shard.  The apply
+        log is cleared: a replica that was down across a reload can no longer
+        replay, so its next resync takes the snapshot path.
+        """
+        self.keys = np.asarray(keys, dtype=self._key_dtype).copy()
+        self.row_ids = np.asarray(row_ids, dtype=np.uint32).copy()
+        self.lsn += 1
+        self.log.clear()
+        parts: List[KernelStats] = []
+        for replica in self.replicas:
+            if replica.state == HEALTHY:
+                parts.extend(self._build_replica(replica))
+                replica.applied_lsn = self.lsn
+        self._bump("reloads")
+        return parts
+
+    # ------------------------------------------------------------- index-like
+
+    def export_entries(self) -> Tuple[np.ndarray, np.ndarray]:
+        # No defensive copy: the authoritative arrays are only ever rebound
+        # (update/reload build fresh arrays), so handing out references is
+        # safe and saves two O(entries) copies per routed write.
+        return self.keys, self.row_ids
+
+    @property
+    def build_time_ms(self) -> float:
+        """Replicas bulk-load concurrently: the group is ready at the makespan."""
+        times = [
+            replica.index.build_time_ms
+            for replica in self.replicas
+            if replica.index is not None
+        ]
+        return max(times) if times else 0.0
+
+    def memory_footprint(self) -> MemoryFootprint:
+        footprint = MemoryFootprint()
+        for replica in self.replicas:
+            if replica.index is not None:
+                footprint.add(
+                    f"replica_{replica.replica_id}",
+                    replica.index.memory_footprint().total_bytes,
+                )
+        return footprint
+
+    def degradation_score(self) -> float:
+        scores = [
+            replica.index.degradation_score()
+            for replica in self.replicas
+            if replica.available
+        ]
+        return max(scores) if scores else 0.0
+
+    def __len__(self) -> int:
+        return self.num_entries
+
+    # ------------------------------------------------------------------ report
+
+    def replica_loads(self) -> np.ndarray:
+        """Requests served per replica, current membership order."""
+        return np.asarray([r.reads_served for r in self.replicas], dtype=np.int64)
+
+    def unavailable_ms(self) -> float:
+        total = sum(end - start for start, end in self.unavailability_windows)
+        if self._unavailable_since is not None:
+            total += self.clock.now_ms - self._unavailable_since
+        return float(total)
+
+    def snapshot(self) -> dict:
+        report = {
+            "shard_id": self.shard_id,
+            "replicas": len(self.replicas),
+            "available": len(self.available_replicas()),
+            "lsn": self.lsn,
+            "unavailable_ms": self.unavailable_ms(),
+            "states": {r.replica_id: r.state for r in self.replicas},
+        }
+        report.update(self.counters)
+        return report
+
+
+class ReplicatedShardRouter(ShardRouter):
+    """A shard router whose shards are replica groups instead of bare indexes.
+
+    Scatter/gather, update routing and the authoritative-array discipline are
+    inherited unchanged — the group plugs into the ``shard.index`` slot and
+    handles balancing, fan-out and failover internally.
+    """
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        row_ids: np.ndarray,
+        factory: ShardFactory,
+        num_shards: int,
+        partitioner: str = "range",
+        key_bits: int = 64,
+        device: GpuDevice = RTX_4090,
+        replication: Optional[ReplicationConfig] = None,
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        self.replication = replication or ReplicationConfig()
+        self.clock = clock or SimulatedClock()
+        self.groups: Dict[int, ReplicaGroup] = {}
+        super().__init__(
+            keys,
+            row_ids,
+            factory=factory,
+            num_shards=num_shards,
+            partitioner=partitioner,
+            key_bits=key_bits,
+            device=device,
+        )
+
+    def _build_shard(self, shard) -> List[KernelStats]:
+        if shard.num_entries == 0:
+            shard.index = None
+            shard.builds += 1
+            return []
+        group = self.groups.get(shard.shard_id)
+        if group is None:
+            group = ReplicaGroup(
+                shard.shard_id,
+                shard.keys,
+                shard.row_ids,
+                factory=self.factory,
+                config=self.replication,
+                clock=self.clock,
+                device=self.device,
+                key_bits=self.key_bits,
+            )
+            self.groups[shard.shard_id] = group
+            stats = list(group.build_stats)
+        else:
+            # Rebuild request (maintenance healing): reload the existing group
+            # in place so replica membership and failure state survive.
+            stats = group.reload(shard.keys, shard.row_ids)
+        shard.index = group
+        shard.builds += 1
+        return stats
+
+    # ------------------------------------------------------------- membership
+
+    def rebalance_replicas(self, replication_factor: int) -> None:
+        """Grow or shrink every group to ``replication_factor`` replicas.
+
+        The replication config follows the new size, so the majority-quorum
+        maths and the reported factor stay true to the actual membership.
+        """
+        import dataclasses
+
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        self.replication = dataclasses.replace(
+            self.replication, replication_factor=replication_factor
+        )
+        for group in self.groups.values():
+            group.config = self.replication
+            while len(group.replicas) < replication_factor:
+                group.add_replica()
+            while len(group.replicas) > replication_factor:
+                spare = [r for r in group.replicas if not r.available]
+                victim = spare[-1] if spare else group.replicas[-1]
+                group.remove_replica(victim.replica_id)
+
+    # ---------------------------------------------------------------- reports
+
+    def replica_load_skew(self) -> float:
+        """Max-over-mean request load across every replica of every shard."""
+        from repro.serve.metrics import shard_skew
+
+        loads = [
+            int(load) for group in self.groups.values() for load in group.replica_loads()
+        ]
+        return shard_skew(np.asarray(loads, dtype=np.int64)) if loads else 1.0
+
+    def replication_snapshot(self) -> dict:
+        groups = [group.snapshot() for group in self.groups.values()]
+        totals: Dict[str, float] = {}
+        for group in self.groups.values():
+            for counter, value in group.counters.items():
+                totals[counter] = totals.get(counter, 0) + value
+        return {
+            "replication_factor": self.replication.replication_factor,
+            "read_policy": self.replication.read_policy,
+            "write_quorum": self.replication.quorum,
+            "unavailable_ms": sum(group.unavailable_ms() for group in self.groups.values()),
+            "replica_load_skew": self.replica_load_skew(),
+            "groups": groups,
+            **totals,
+        }
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled fault against a specific replica."""
+
+    at_ms: float
+    kind: str  # "crash" | "slow" | "transient"
+    shard_id: int
+    replica_id: int
+    #: Outage / slowdown length (crash and slow events).
+    duration_ms: float = 0.0
+    #: Execution-time multiplier while a slow event is active.
+    slow_factor: float = 4.0
+    #: Read attempts that fail before the replica behaves again (transient).
+    error_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "slow", "transient"):
+            raise ValueError(f"unknown failure kind {self.kind!r}")
+
+
+class FailureInjector:
+    """Replays a failure schedule against a replicated router's groups.
+
+    Driven by the simulated clock: :meth:`poll` applies every event (and
+    every crash/slow expiry) due by ``now_ms``, in timestamp order, and
+    returns human-readable transition records.  Crashed replicas transition
+    to ``RECOVERING`` when their outage ends; actually resyncing them is the
+    maintenance worker's job (or the group's emergency-restart path).
+    """
+
+    def __init__(self, router: ReplicatedShardRouter, events: Sequence[FailureEvent]) -> None:
+        self.router = router
+        self._heap: List[Tuple[float, int, str, FailureEvent, Optional[int]]] = []
+        self._sequence = 0
+        for event in sorted(events, key=lambda e: e.at_ms):
+            self._push(event.at_ms, "start", event)
+        #: Every transition applied so far, as ``(time_ms, description)``.
+        self.log: List[Tuple[float, str]] = []
+
+    def _push(
+        self,
+        at_ms: float,
+        phase: str,
+        event: FailureEvent,
+        incarnation: Optional[int] = None,
+    ) -> None:
+        heapq.heappush(
+            self._heap, (float(at_ms), self._sequence, phase, event, incarnation)
+        )
+        self._sequence += 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def adopt_pending_ends(self, predecessor: "FailureInjector") -> None:
+        """Carry over a replaced injector's not-yet-fired fault expiries.
+
+        Re-arming a new schedule must not orphan the end events of faults the
+        old schedule already applied — a crashed replica would otherwise stay
+        down forever.  Unapplied *start* events of the old schedule are
+        intentionally dropped (the caller replaced that future)."""
+        for at_ms, _, phase, event, incarnation in predecessor._heap:
+            if phase == "end":
+                self._push(at_ms, "end", event, incarnation)
+
+    def poll(self, now_ms: float) -> List[Tuple[float, str]]:
+        """Apply all transitions due by ``now_ms``; returns the new ones."""
+        self.router.clock.advance(now_ms)
+        applied: List[Tuple[float, str]] = []
+        while self._heap and self._heap[0][0] <= now_ms:
+            at_ms, _, phase, event, incarnation = heapq.heappop(self._heap)
+            group = self.router.groups.get(event.shard_id)
+            if group is None:
+                continue
+            try:
+                description = self._apply(group, at_ms, phase, event, incarnation)
+            except KeyError:
+                continue  # the replica left the group before the event fired
+            if description is not None:
+                applied.append((at_ms, description))
+        self.log.extend(applied)
+        return applied
+
+    def _apply(
+        self,
+        group: ReplicaGroup,
+        at_ms: float,
+        phase: str,
+        event: FailureEvent,
+        incarnation: Optional[int],
+    ) -> Optional[str]:
+        target = f"s{event.shard_id}r{event.replica_id}"
+        if phase == "end":
+            # A restart (resync) since the fault started supersedes it; its
+            # end event must not cut a *newer* fault on the fresh process
+            # short.
+            if group.replica(event.replica_id).incarnation != incarnation:
+                return None
+            if event.kind == "crash":
+                group.end_outage(event.replica_id, at_ms)
+                return f"{target} outage over (recovering)"
+            group.clear_slow(event.replica_id, event.slow_factor)
+            return f"{target} back to full speed"
+        if event.kind == "crash":
+            group.crash(event.replica_id, at_ms)
+            self._push(
+                at_ms + event.duration_ms,
+                "end",
+                event,
+                incarnation=group.replica(event.replica_id).incarnation,
+            )
+            return f"{target} crashed for {event.duration_ms:g}ms"
+        if event.kind == "slow":
+            group.set_slow(event.replica_id, event.slow_factor)
+            self._push(
+                at_ms + event.duration_ms,
+                "end",
+                event,
+                incarnation=group.replica(event.replica_id).incarnation,
+            )
+            return f"{target} slowed x{event.slow_factor:g} for {event.duration_ms:g}ms"
+        group.inject_transient(event.replica_id, event.error_count)
+        return f"{target} will throw {event.error_count} transient error(s)"

@@ -36,6 +36,34 @@ from repro.workloads.keygen import KeySet
 ShardFactory = Callable[[KeySet, GpuDevice], GpuIndex]
 
 
+def apply_update_to_entries(
+    keys: np.ndarray,
+    row_ids: np.ndarray,
+    insert_keys: np.ndarray,
+    insert_row_ids: np.ndarray,
+    delete_keys: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray, int]":
+    """Apply an update slice to sorted authoritative ``(keys, row_ids)`` arrays.
+
+    Deletes remove one occurrence per delete key (cgRXu's semantics, via
+    :func:`~repro.baselines.base.delete_one_per_key`); inserts land behind
+    existing duplicates of the same key.  Returns the new arrays plus the
+    number of entries actually removed.  Shared by the shard router and the
+    replication layer so every authoritative copy agrees byte-for-byte.
+    """
+    keys, row_ids, removed = delete_one_per_key(keys, row_ids, delete_keys)
+    if insert_keys.size:
+        # np.insert places same-position values in argument order, so an
+        # unsorted batch would break the sorted invariant; sort it first.
+        order = np.argsort(insert_keys, kind="stable")
+        insert_keys = insert_keys[order]
+        insert_row_ids = insert_row_ids[order]
+        positions = np.searchsorted(keys, insert_keys, side="right")
+        keys = np.insert(keys, positions, insert_keys)
+        row_ids = np.insert(row_ids, positions, insert_row_ids)
+    return keys, row_ids, removed
+
+
 
 
 @dataclass
@@ -271,12 +299,7 @@ class ShardRouter:
             shard_inserts = insert_keys[insert_shards == shard_id]
             shard_insert_rows = insert_row_ids[insert_shards == shard_id]
             shard_deletes = delete_keys[delete_shards == shard_id]
-
-            removed = self._apply_authoritative(
-                shard, shard_inserts, shard_insert_rows, shard_deletes
-            )
             inserted += int(shard_inserts.shape[0])
-            deleted += removed
 
             if shard.index is not None and shard.index.supports_updates:
                 result = shard.index.update_batch(
@@ -288,12 +311,19 @@ class ShardRouter:
                 any_rebuilt = any_rebuilt or result.rebuilt
                 # Where the live index can dump its entries, snapshot it as
                 # the authoritative state: a rebuild then reproduces the live
-                # index exactly, duplicate tie-order included.
+                # index exactly, duplicate tie-order included — and the
+                # sorted-array maintenance below would be redundant work.
                 try:
                     shard.keys, shard.row_ids = shard.index.export_entries()
+                    deleted += result.deleted
                 except UnsupportedOperation:
-                    pass
+                    deleted += self._apply_authoritative(
+                        shard, shard_inserts, shard_insert_rows, shard_deletes
+                    )
             else:
+                deleted += self._apply_authoritative(
+                    shard, shard_inserts, shard_insert_rows, shard_deletes
+                )
                 parts.append(self.rebuild_shard(int(shard_id)))
                 any_rebuilt = True
 
@@ -312,18 +342,9 @@ class ShardRouter:
         Deletes remove one occurrence per delete key (matching cgRXu's
         semantics); returns the number of entries actually removed.
         """
-        keys, rows, removed = delete_one_per_key(shard.keys, shard.row_ids, delete_keys)
-        if insert_keys.size:
-            # np.insert places same-position values in argument order, so an
-            # unsorted batch would break the sorted invariant; sort it first.
-            order = np.argsort(insert_keys, kind="stable")
-            insert_keys = insert_keys[order]
-            insert_row_ids = insert_row_ids[order]
-            positions = np.searchsorted(keys, insert_keys, side="right")
-            keys = np.insert(keys, positions, insert_keys)
-            rows = np.insert(rows, positions, insert_row_ids)
-        shard.keys = keys
-        shard.row_ids = rows
+        shard.keys, shard.row_ids, removed = apply_update_to_entries(
+            shard.keys, shard.row_ids, insert_keys, insert_row_ids, delete_keys
+        )
         return removed
 
     # ------------------------------------------------------------------ memory

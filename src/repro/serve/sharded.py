@@ -34,6 +34,12 @@ from repro.serve.batching import BatchPolicy, BatchScheduler
 from repro.serve.cache import ResultCache
 from repro.serve.maintenance import MaintenancePolicy, MaintenanceWorker
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.replication import (
+    FailureInjector,
+    ReplicatedShardRouter,
+    ReplicationConfig,
+    SimulatedClock,
+)
 from repro.serve.router import ShardFactory, ShardRouter
 from repro.workloads.keygen import KeySet
 from repro.workloads.requests import RequestStream
@@ -59,10 +65,33 @@ class ServeConfig:
     rebuild_threshold: float = 0.5
     #: Host-side latency charged to a request answered from cache.
     cache_latency_ms: float = 0.01
+    #: Replicas per shard (1 = unreplicated, the plain shard router).
+    replication_factor: int = 1
+    #: Read-balancing policy across a shard's replicas.
+    read_policy: str = "round_robin"
+    #: Write quorum per shard (majority of the replicas when ``None``).
+    write_quorum: Optional[int] = None
+    #: Apply-log records retained per shard for replica catch-up.
+    log_capacity: int = 64
 
     def describe(self) -> str:
         cache = f"cache={self.cache_capacity}" if self.cache_capacity else "no-cache"
-        return f"sharded({self.partitioner}x{self.num_shards}, {cache})"
+        label = f"sharded({self.partitioner}x{self.num_shards}, {cache})"
+        if self.replication_factor > 1:
+            label = (
+                f"replicated({self.partitioner}x{self.num_shards}"
+                f"x{self.replication_factor}, {self.read_policy}, {cache})"
+            )
+        return label
+
+    def replication(self) -> "ReplicationConfig":
+        """The per-shard replica-group configuration this config implies."""
+        return ReplicationConfig(
+            replication_factor=self.replication_factor,
+            read_policy=self.read_policy,
+            write_quorum=self.write_quorum,
+            log_capacity=self.log_capacity,
+        )
 
 
 def _default_factory(keyset: KeySet, device: GpuDevice) -> GpuIndex:
@@ -100,15 +129,32 @@ class ShardedIndex(GpuIndex):
             row_ids = np.arange(keys.shape[0], dtype=np.uint32)
         row_ids = np.asarray(row_ids, dtype=np.uint32)
 
-        self.router = ShardRouter(
-            keys,
-            row_ids,
-            factory=factory or _default_factory,
-            num_shards=self.config.num_shards,
-            partitioner=self.config.partitioner,
-            key_bits=self.config.key_bits,
-            device=device,
-        )
+        #: Simulated clock driving failure injection and replica recovery.
+        self.clock = SimulatedClock()
+        if self.config.replication_factor > 1:
+            self.router: ShardRouter = ReplicatedShardRouter(
+                keys,
+                row_ids,
+                factory=factory or _default_factory,
+                num_shards=self.config.num_shards,
+                partitioner=self.config.partitioner,
+                key_bits=self.config.key_bits,
+                device=device,
+                replication=self.config.replication(),
+                clock=self.clock,
+            )
+        else:
+            self.router = ShardRouter(
+                keys,
+                row_ids,
+                factory=factory or _default_factory,
+                num_shards=self.config.num_shards,
+                partitioner=self.config.partitioner,
+                key_bits=self.config.key_bits,
+                device=device,
+            )
+        #: Failure-schedule replayer (armed by :meth:`inject_failures`).
+        self.failures: Optional[FailureInjector] = None
         self.cache: Optional[ResultCache] = (
             ResultCache(self.config.cache_capacity) if self.config.cache_capacity else None
         )
@@ -119,8 +165,12 @@ class ShardedIndex(GpuIndex):
         )
         #: Cumulative telemetry over every served stream (serve_stream default).
         self.metrics = MetricsRegistry(num_shards=self.config.num_shards)
+        self._bind_group_metrics(self.metrics)
         #: Batch results awaiting their simulated completion time (serve_stream).
         self._pending_fills = []
+        #: Per-request answers of the last ``serve_stream(record_answers=True)``.
+        self.last_answers = None
+        self._answer_sink = None
         self.build_stats = [
             stats
             for shard in self.router.shards
@@ -194,8 +244,52 @@ class ShardedIndex(GpuIndex):
         # Maintenance runs off the request path: degraded shards are queued
         # and healed here, but the time is accounted on the worker, not on
         # the foreground update result.
-        self.maintenance.run_cycle()
+        self.maintenance.run_cycle(self.clock.now_ms)
         return result
+
+    # ------------------------------------------------------------ replication
+
+    def inject_failures(self, events) -> FailureInjector:
+        """Arm a failure schedule (crash/slow/transient events) for serving.
+
+        The events replay on the simulated clock as requests arrive; only
+        replicated deployments (``replication_factor > 1``) can be armed.
+        """
+        if not isinstance(self.router, ReplicatedShardRouter):
+            raise ValueError(
+                "failure injection needs a replicated deployment "
+                "(ServeConfig.replication_factor > 1)"
+            )
+        injector = FailureInjector(self.router, list(events))
+        if self.failures is not None:
+            # Faults the previous schedule already applied must still expire.
+            injector.adopt_pending_ends(self.failures)
+        self.failures = injector
+        return self.failures
+
+    def _bind_group_metrics(self, metrics: MetricsRegistry) -> None:
+        """Point the replica groups' telemetry at the active registry, so a
+        stream served into a caller-provided registry gets the failover and
+        availability records too (not just request latency)."""
+        if isinstance(self.router, ReplicatedShardRouter):
+            for group in self.router.groups.values():
+                group.metrics = metrics
+
+    def _poll_failures(self, now_ms: float) -> None:
+        """Advance the clock; apply due failure transitions; heal off-path."""
+        self.clock.advance(now_ms)
+        if self.failures is None:
+            return
+        if self.failures.poll(now_ms):
+            # Recovered replicas re-enter via the maintenance worker: scan
+            # spots the RECOVERING state and runs the resync task off-path.
+            self.maintenance.run_cycle(now_ms)
+
+    def replication_snapshot(self) -> Optional[dict]:
+        """Replica/availability report (None for unreplicated deployments)."""
+        if isinstance(self.router, ReplicatedShardRouter):
+            return self.router.replication_snapshot()
+        return None
 
     # ----------------------------------------------------------------- memory
 
@@ -231,6 +325,7 @@ class ShardedIndex(GpuIndex):
         stream: RequestStream,
         policy: Optional[BatchPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
+        record_answers: bool = False,
     ) -> MetricsRegistry:
         """Serve a timed client request stream through the batching layer.
 
@@ -238,24 +333,38 @@ class ShardedIndex(GpuIndex):
         host latency on a hit); the rest are coalesced per shard by the batch
         scheduler and executed as device-sized batches.  A request's latency
         is its queueing delay plus the device time of the batch it rode in.
-        Returns the metrics registry with per-request telemetry — the
-        deployment's own :attr:`metrics` unless a separate one is passed.
+        An armed failure schedule (:meth:`inject_failures`) replays on the
+        same clock, so crashes/failovers land between requests exactly where
+        the schedule puts them.  Returns the metrics registry with
+        per-request telemetry — the deployment's own :attr:`metrics` unless a
+        separate one is passed.  With ``record_answers=True`` the per-request
+        answers are kept in :attr:`last_answers` as ``(row_ids,
+        match_counts)`` arrays indexed by request id, which is what the
+        differential availability checks compare against a single-instance
+        oracle.
         """
         policy = policy or BatchPolicy(
             max_batch_size=self.config.max_batch_size,
             max_wait_ms=self.config.max_wait_ms,
         )
         metrics = metrics or self.metrics
+        self._bind_group_metrics(metrics)
         scheduler = BatchScheduler(policy)
         keys = np.asarray(stream.keys, dtype=self._key_dtype)
         shard_of = self.router.partitioner.shard_of(keys)
         # Batch results become cacheable only at the batch's simulated
         # completion time; until then they are parked here.
         self._pending_fills = []
+        self._answer_sink = (
+            (np.full(len(stream), -1, dtype=np.int64), np.zeros(len(stream), dtype=np.int64))
+            if record_answers
+            else None
+        )
 
         last_arrival = 0.0
         for request_id, arrival_ms, key in stream:
             last_arrival = arrival_ms
+            self._poll_failures(arrival_ms)
             # Dispatch batches whose wait deadline has passed — even when this
             # request itself will be answered from cache — then make their
             # completed results visible before probing the cache.
@@ -272,17 +381,32 @@ class ShardedIndex(GpuIndex):
                     metrics.bump(
                         "cache_hits" if entry.match_count > 0 else "cache_negative_hits"
                     )
+                    if self._answer_sink is not None:
+                        self._answer_sink[0][request_id] = entry.row_agg
+                        self._answer_sink[1][request_id] = entry.match_count
                     continue
                 metrics.bump("cache_misses")
             due = scheduler.offer(int(shard_of[request_id]), request_id, key, arrival_ms)
             self._execute_batches(due, metrics, client_ids=stream.client_ids)
 
+        self._poll_failures(last_arrival + policy.max_wait_ms)
         self._execute_batches(
             scheduler.drain(last_arrival + policy.max_wait_ms),
             metrics,
             client_ids=stream.client_ids,
         )
         self._commit_pending_fills(float("inf"))
+        if isinstance(self.router, ReplicatedShardRouter):
+            # Outages still in progress count against this stream's
+            # availability up to the point serving stopped.
+            for group in self.router.groups.values():
+                group.flush_unavailability(self.clock.now_ms)
+            # The caller's registry was only bound for this stream; direct
+            # calls afterwards report to the deployment's own again.
+            self._bind_group_metrics(self.metrics)
+        if self._answer_sink is not None:
+            self.last_answers = self._answer_sink
+            self._answer_sink = None
         return metrics
 
     def _commit_pending_fills(self, now_ms: float) -> None:
@@ -311,6 +435,9 @@ class ShardedIndex(GpuIndex):
                 counts = result.match_counts
                 exec_ms = shard.index.lookup_time_ms(result)
             completion_ms = batch.dispatch_ms + exec_ms
+            if self._answer_sink is not None:
+                self._answer_sink[0][batch.request_ids] = row_agg
+                self._answer_sink[1][batch.request_ids] = counts
             for position in range(batch.size):
                 arrival = float(batch.arrival_ms[position])
                 metrics.record_request(completion_ms - arrival, arrival, completion_ms)

@@ -19,11 +19,13 @@ from repro.workloads.lookups import (
     uniform_lookups,
     zipf_lookups,
 )
+from repro.workloads.failures import failure_schedule
 from repro.workloads.requests import RequestStream, zipf_request_stream
 from repro.workloads.updates import UpdateWave, update_waves
 
 __all__ = [
     "RequestStream",
+    "failure_schedule",
     "zipf_request_stream",
     "KeySet",
     "generate_keys",

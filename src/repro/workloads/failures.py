@@ -1,0 +1,104 @@
+"""Failure-schedule generation for the replicated serving subsystem.
+
+A production deployment sees replicas crash, grind and hiccup continuously;
+the availability experiment and the differential fuzzer replay exactly such
+weather against :class:`~repro.serve.replication.ReplicaGroup` deployments.
+A schedule is a plain list of :class:`~repro.serve.replication.FailureEvent`
+records on the simulated clock, generated from seeded Poisson processes per
+fault class so every run is reproducible.
+
+The generator is deliberately index-agnostic: it only needs the deployment's
+shape (shard count x replication factor) and a time horizon.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported lazily below: serve already imports workloads
+    from repro.serve.replication import FailureEvent
+
+
+def failure_schedule(
+    num_shards: int,
+    replication_factor: int,
+    duration_ms: float,
+    crashes_per_s: float = 20.0,
+    slowdowns_per_s: float = 20.0,
+    transients_per_s: float = 40.0,
+    mean_outage_ms: float = 8.0,
+    mean_slowdown_ms: float = 6.0,
+    slow_factor: float = 4.0,
+    max_transient_errors: int = 3,
+    spare_replica: Optional[int] = None,
+    seed: int = 0,
+) -> List[FailureEvent]:
+    """Seeded random failure weather for a ``num_shards x replication_factor`` fleet.
+
+    Every fault class is an independent Poisson process over ``[0,
+    duration_ms]`` (rates are per simulated *second*; serving streams span
+    tens of milliseconds, so the defaults inject a handful of events each).
+    Crash and slowdown durations are exponential around their means.
+
+    ``spare_replica`` exempts one replica id per shard from *crash* events —
+    with it set, at least that replica stays up and the deployment never
+    needs an emergency restart; without it, total shard outages (and their
+    unavailability windows) are possible and exercised.
+    """
+    from repro.serve.replication import FailureEvent
+
+    if num_shards < 1 or replication_factor < 1:
+        raise ValueError("num_shards and replication_factor must be >= 1")
+    if duration_ms <= 0.0:
+        raise ValueError("duration_ms must be positive")
+
+    rng = np.random.default_rng(seed)
+    events: List[FailureEvent] = []
+
+    def draw_times(rate_per_s: float) -> np.ndarray:
+        expected = rate_per_s * duration_ms / 1e3
+        count = int(rng.poisson(expected))
+        return np.sort(rng.uniform(0.0, duration_ms, size=count))
+
+    crashable = [
+        replica_id
+        for replica_id in range(replication_factor)
+        if replica_id != spare_replica
+    ]
+    for at_ms in draw_times(crashes_per_s):
+        if not crashable:
+            break
+        events.append(
+            FailureEvent(
+                at_ms=float(at_ms),
+                kind="crash",
+                shard_id=int(rng.integers(num_shards)),
+                replica_id=int(rng.choice(crashable)),
+                duration_ms=float(rng.exponential(mean_outage_ms)),
+            )
+        )
+    for at_ms in draw_times(slowdowns_per_s):
+        events.append(
+            FailureEvent(
+                at_ms=float(at_ms),
+                kind="slow",
+                shard_id=int(rng.integers(num_shards)),
+                replica_id=int(rng.integers(replication_factor)),
+                duration_ms=float(rng.exponential(mean_slowdown_ms)),
+                slow_factor=float(slow_factor),
+            )
+        )
+    for at_ms in draw_times(transients_per_s):
+        events.append(
+            FailureEvent(
+                at_ms=float(at_ms),
+                kind="transient",
+                shard_id=int(rng.integers(num_shards)),
+                replica_id=int(rng.integers(replication_factor)),
+                error_count=int(rng.integers(1, max_transient_errors + 1)),
+            )
+        )
+    events.sort(key=lambda event: event.at_ms)
+    return events

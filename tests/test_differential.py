@@ -1,0 +1,282 @@
+"""Differential fuzzing: every index implementation against a model oracle.
+
+A seeded fuzzer drives random operation sequences — bulk build, point-lookup
+batches, range-lookup batches and update batches — against every baseline,
+``CgRXuIndex``, a plain ``ShardedIndex`` deployment and a *replicated*
+``ShardedIndex`` with failure injection running on the simulated clock.  The
+oracle is the authoritative entry array maintained with the shared
+update-application helpers; any implementation whose answers drift from it
+fails the fuzz.
+
+Answer comparison is implementation-agnostic but exact:
+
+* point lookups — rowID aggregate and match count per lookup, byte-identical;
+* range lookups — the *multiset* of matching rowIDs per query (compared
+  sorted; result order across different index internals is not a contract).
+
+Two generation rules keep the op space inside the documented cross-
+implementation contract:
+
+* insert and delete key sets of one batch are disjoint — opposing-pair
+  cancellation is cgRXu batch semantics, pinned separately in
+  ``test_update_semantics.py``, and the baselines' native update paths
+  legitimately do not implement it;
+* deletes remove whole duplicate groups (or miss entirely) — *which* of
+  several duplicates a partial delete removes is implementation-defined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import ground_truth_point, ground_truth_range
+from repro.bench.harness import (
+    btree_factory,
+    cgrx_factory,
+    cgrxu_factory,
+    fullscan_factory,
+    hash_table_factory,
+    rtscan_factory,
+    rx_factory,
+    sorted_array_factory,
+)
+from repro.serve import ServeConfig, ShardedIndex
+from repro.serve.router import apply_update_to_entries
+from repro.workloads.failures import failure_schedule
+from repro.workloads.keygen import KeySet
+
+#: Dense key space so duplicates and collisions actually happen.
+KEYSPACE = 1 << 16
+#: Keys in this range are never inserted: guaranteed misses.
+MISS_BASE = 1 << 24
+
+FACTORIES = {
+    "SA": sorted_array_factory,
+    "B+": btree_factory,
+    "HT": hash_table_factory,
+    "RX": rx_factory,
+    "RTScan": rtscan_factory,
+    "FullScan": fullscan_factory,
+    "cgRX": lambda: cgrx_factory(32),
+    "cgRXu": lambda: cgrxu_factory(128),
+}
+
+CONFIGS = list(FACTORIES) + ["sharded", "replicated"]
+
+
+class Oracle:
+    """Dict-equivalent model: the authoritative sorted entry arrays."""
+
+    def __init__(self, keys: np.ndarray, row_ids: np.ndarray) -> None:
+        order = np.argsort(keys, kind="stable")
+        self.keys = keys[order].copy()
+        self.row_ids = row_ids[order].copy()
+
+    def apply(self, insert_keys, insert_row_ids, delete_keys) -> None:
+        self.keys, self.row_ids, _ = apply_update_to_entries(
+            self.keys, self.row_ids, insert_keys, insert_row_ids, delete_keys
+        )
+
+    def live_count(self, key: int) -> int:
+        left = np.searchsorted(self.keys, np.uint32(key), side="left")
+        right = np.searchsorted(self.keys, np.uint32(key), side="right")
+        return int(right - left)
+
+    def point(self, lookups):
+        return ground_truth_point(self.keys, self.row_ids, lookups)
+
+    def range(self, low, high):
+        return ground_truth_range(self.keys, self.row_ids, low, high)
+
+
+class SubjectUnderTest:
+    """One fuzzed configuration: a bare index or a served deployment."""
+
+    def __init__(self, name: str, keys: np.ndarray, row_ids: np.ndarray) -> None:
+        self.name = name
+        self.index = self._build(name, keys, row_ids)
+
+    def _build(self, name, keys, row_ids):
+        if name == "sharded":
+            # Rebuild-fallback shards plus the result cache (invalidation on
+            # the update path is part of what the fuzz checks).
+            config = ServeConfig(
+                num_shards=4, partitioner="range", key_bits=32, cache_capacity=256
+            )
+            return ShardedIndex(keys, row_ids, factory=sorted_array_factory(), config=config)
+        if name == "replicated":
+            config = ServeConfig(
+                num_shards=4,
+                partitioner="hash",
+                key_bits=32,
+                cache_capacity=256,
+                replication_factor=3,
+            )
+            return ShardedIndex(keys, row_ids, factory=cgrxu_factory(128), config=config)
+        keyset = KeySet(
+            keys=keys.copy(), row_ids=row_ids.copy(), key_bits=32, description=name
+        )
+        return FACTORIES[name]()(keyset)
+
+    @property
+    def supports_point(self) -> bool:
+        return bool(self.index.supports_point)
+
+    @property
+    def supports_range(self) -> bool:
+        return bool(self.index.supports_range)
+
+    def rebuild(self, oracle: Oracle) -> None:
+        """Deployment-style rebuild for index types without native updates."""
+        keyset = KeySet(
+            keys=oracle.keys.copy(),
+            row_ids=oracle.row_ids.copy(),
+            key_bits=32,
+            description=self.name,
+        )
+        self.index = FACTORIES[self.name]()(keyset)
+
+    def update(self, oracle: Oracle, insert_keys, insert_row_ids, delete_keys) -> None:
+        if self.index.supports_updates:
+            self.index.update_batch(
+                insert_keys=insert_keys if insert_keys.size else None,
+                insert_row_ids=insert_row_ids if insert_keys.size else None,
+                delete_keys=delete_keys if delete_keys.size else None,
+            )
+        else:
+            self.rebuild(oracle)
+
+
+def _absent_keys(rng, oracle: Oracle, count: int) -> np.ndarray:
+    """Keys guaranteed (high range) or likely-then-verified absent (gaps)."""
+    high = rng.integers(MISS_BASE, MISS_BASE * 2, size=count, dtype=np.uint64)
+    gaps = rng.integers(0, KEYSPACE, size=count, dtype=np.uint64)
+    candidates = np.concatenate([high, gaps]).astype(np.uint32)
+    absent = candidates[~np.isin(candidates, oracle.keys)]
+    return absent[:count]
+
+
+def run_fuzz(config_name: str, seed: int, steps: int = 24, initial_keys: int = 1024):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, KEYSPACE, size=initial_keys, dtype=np.uint64).astype(np.uint32)
+    next_row = initial_keys
+    row_ids = np.arange(initial_keys, dtype=np.uint32)
+
+    oracle = Oracle(keys, row_ids)
+    subject = SubjectUnderTest(config_name, keys, row_ids)
+
+    # The replicated configuration runs under failure weather: crash, slow
+    # and transient events fire between ops as the simulated clock advances.
+    injector = None
+    if config_name == "replicated":
+        injector = subject.index.inject_failures(
+            failure_schedule(
+                num_shards=4,
+                replication_factor=3,
+                duration_ms=float(steps),
+                crashes_per_s=80_000.0,  # rates are per second; 1ms per step
+                slowdowns_per_s=40_000.0,
+                transients_per_s=160_000.0,
+                mean_outage_ms=2.0,
+                seed=seed + 1,
+            )
+        )
+
+    for step in range(1, steps + 1):
+        if injector is not None:
+            if injector.poll(float(step)):
+                subject.index.maintenance.run_cycle(float(step))
+
+        op = rng.choice(["point", "range", "update"], p=[0.4, 0.3, 0.3])
+        if op == "point":
+            if not subject.supports_point:  # RTScan is range-only
+                continue
+            num = int(rng.integers(1, 64))
+            live = (
+                rng.choice(oracle.keys, size=num)
+                if oracle.keys.size
+                else np.empty(0, dtype=np.uint32)
+            )
+            lookups = np.concatenate([live, _absent_keys(rng, oracle, max(1, num // 4))])
+            rng.shuffle(lookups)
+            lookups = lookups.astype(np.uint32)
+            result = subject.index.point_lookup_batch(lookups)
+            expected_agg, expected_counts = oracle.point(lookups)
+            np.testing.assert_array_equal(
+                result.row_ids, expected_agg,
+                err_msg=f"{config_name}: point aggregates diverged at step {step}",
+            )
+            np.testing.assert_array_equal(
+                result.match_counts, expected_counts,
+                err_msg=f"{config_name}: point counts diverged at step {step}",
+            )
+        elif op == "range":
+            if not subject.supports_range:
+                continue
+            num = int(rng.integers(1, 8))
+            bounds = rng.integers(0, KEYSPACE, size=(num, 2), dtype=np.uint64).astype(np.uint32)
+            lows = np.minimum(bounds[:, 0], bounds[:, 1])
+            highs = np.maximum(bounds[:, 0], bounds[:, 1])
+            result = subject.index.range_lookup_batch(lows, highs)
+            for position in range(num):
+                expected = oracle.range(int(lows[position]), int(highs[position]))
+                np.testing.assert_array_equal(
+                    np.sort(result.row_ids[position]), np.sort(expected),
+                    err_msg=f"{config_name}: range {position} diverged at step {step}",
+                )
+        else:
+            num_inserts = int(rng.integers(0, 48))
+            insert_keys = rng.integers(0, KEYSPACE, size=num_inserts, dtype=np.uint64).astype(
+                np.uint32
+            )
+            insert_rows = np.arange(next_row, next_row + num_inserts, dtype=np.uint32)
+            next_row += num_inserts
+            # Deletes: whole duplicate groups of sampled live keys plus some
+            # guaranteed misses — never keys of this batch's insert half.
+            delete_parts = []
+            if oracle.keys.size:
+                chosen = np.unique(rng.choice(oracle.keys, size=int(rng.integers(1, 16))))
+                chosen = chosen[~np.isin(chosen, insert_keys)]
+                for key in chosen:
+                    delete_parts.append(
+                        np.full(oracle.live_count(int(key)), key, dtype=np.uint32)
+                    )
+            misses = _absent_keys(rng, oracle, 3)
+            delete_parts.append(misses[~np.isin(misses, insert_keys)])
+            delete_keys = (
+                np.concatenate(delete_parts) if delete_parts else np.empty(0, dtype=np.uint32)
+            )
+            # Model first: rebuild-fallback subjects snapshot the oracle, so
+            # it must already reflect this batch.
+            oracle.apply(insert_keys, insert_rows, delete_keys)
+            subject.update(oracle, insert_keys, insert_rows, delete_keys)
+
+    # Closing sweep: every live key (and a miss batch) answers identically;
+    # range-only subjects sweep the full keyspace instead.
+    if subject.supports_point:
+        probe = np.concatenate([np.unique(oracle.keys), _absent_keys(rng, oracle, 16)])
+        result = subject.index.point_lookup_batch(probe)
+        expected_agg, expected_counts = oracle.point(probe)
+        np.testing.assert_array_equal(result.row_ids, expected_agg)
+        np.testing.assert_array_equal(result.match_counts, expected_counts)
+    else:
+        full = subject.index.range_lookup_batch(
+            np.asarray([0], dtype=np.uint32),
+            np.asarray([np.iinfo(np.uint32).max], dtype=np.uint32),
+        )
+        np.testing.assert_array_equal(np.sort(full.row_ids[0]), np.sort(oracle.row_ids))
+    return subject, oracle
+
+
+@pytest.mark.parametrize("config_name", CONFIGS)
+def test_differential_fuzz(config_name):
+    run_fuzz(config_name, seed=20250729)
+
+
+def test_differential_fuzz_replicated_sees_failures():
+    """The replicated fuzz run actually exercises failover machinery."""
+    subject, _ = run_fuzz("replicated", seed=42, steps=16)
+    snapshot = subject.index.replication_snapshot()
+    assert snapshot["crashes"] >= 1
+    assert subject.index.failures is not None and subject.index.failures.log

@@ -173,6 +173,119 @@ def test_router_unsorted_insert_batch_keeps_authoritative_order(keyset):
 
 
 # --------------------------------------------------------------------------
+# Range-lookup boundary contracts (vs a single-instance index)
+# --------------------------------------------------------------------------
+
+
+def single_instance(keyset):
+    from repro.baselines.sorted_array import SortedArrayIndex
+
+    return SortedArrayIndex(keyset.keys, keyset.row_ids, key_bits=32)
+
+
+def assert_ranges_match_single_instance(router, keyset, lows, highs):
+    reference = single_instance(keyset)
+    lows = np.asarray(lows, dtype=np.uint32)
+    highs = np.asarray(highs, dtype=np.uint32)
+    routed = router.range_lookup_batch(lows, highs)
+    expected = reference.range_lookup_batch(lows, highs)
+    assert routed.num_lookups == expected.num_lookups == lows.shape[0]
+    for position in range(lows.shape[0]):
+        np.testing.assert_array_equal(
+            np.sort(routed.row_ids[position]),
+            np.sort(expected.row_ids[position]),
+            err_msg=f"range {position} [{lows[position]}, {highs[position]}] diverged",
+        )
+
+
+@pytest.mark.parametrize("partitioner", ["range", "hash"])
+def test_range_lookup_spanning_partition_boundaries(keyset, partitioner):
+    """Ranges that straddle shard boundaries must gather the full answer."""
+    router = ShardRouter(
+        keyset.keys,
+        keyset.row_ids,
+        factory=sorted_array_factory(),
+        num_shards=4,
+        partitioner=partitioner,
+        key_bits=32,
+    )
+    if partitioner == "range":
+        boundaries = router.partitioner.boundaries.astype(np.uint64)
+    else:  # hash has no key boundaries; use the range partitioner's anyway
+        boundaries = RangePartitioner(keyset.keys, 4).boundaries.astype(np.uint64)
+    lows, highs = [], []
+    for boundary in boundaries:
+        # Straddling, exactly-at, ending-at and starting-at the boundary.
+        lows += [boundary - 100, boundary, boundary - 100, boundary]
+        highs += [boundary + 100, boundary, boundary, boundary + 100]
+    assert_ranges_match_single_instance(router, keyset, lows, highs)
+
+
+@pytest.mark.parametrize("partitioner", ["range", "hash"])
+def test_range_lookup_empty_ranges(keyset, partitioner):
+    """Inverted bounds and key-free gaps return empty results, not errors."""
+    router = ShardRouter(
+        keyset.keys,
+        keyset.row_ids,
+        factory=sorted_array_factory(),
+        num_shards=4,
+        partitioner=partitioner,
+        key_bits=32,
+    )
+    sorted_keys = np.sort(keyset.keys)
+    gaps = np.where(np.diff(sorted_keys.astype(np.int64)) > 2)[0]
+    assert gaps.size, "fixture key set should contain gaps"
+    gap_low = int(sorted_keys[gaps[0]]) + 1
+    gap_high = int(sorted_keys[gaps[0] + 1]) - 1
+    lows = [int(sorted_keys[100]), gap_low, 5]
+    highs = [int(sorted_keys[10]), gap_high, 5]  # first one is inverted
+    assert_ranges_match_single_instance(router, keyset, lows, highs)
+    result = router.range_lookup_batch(
+        np.asarray(lows, dtype=np.uint32), np.asarray(highs, dtype=np.uint32)
+    )
+    assert result.row_ids[0].shape[0] == 0
+    assert result.row_ids[1].shape[0] == 0
+
+
+@pytest.mark.parametrize("partitioner", ["range", "hash"])
+def test_range_lookup_full_keyspace(keyset, partitioner):
+    """[0, uint32 max] retrieves every entry exactly once."""
+    router = ShardRouter(
+        keyset.keys,
+        keyset.row_ids,
+        factory=sorted_array_factory(),
+        num_shards=8,
+        partitioner=partitioner,
+        key_bits=32,
+    )
+    full_low, full_high = 0, int(np.iinfo(np.uint32).max)
+    assert_ranges_match_single_instance(router, keyset, [full_low], [full_high])
+    result = router.range_lookup_batch(
+        np.asarray([full_low], dtype=np.uint32), np.asarray([full_high], dtype=np.uint32)
+    )
+    assert result.row_ids[0].shape[0] == len(keyset)
+    np.testing.assert_array_equal(np.sort(result.row_ids[0]), np.sort(keyset.row_ids))
+    # Every shard participated in the full-keyspace scatter.
+    assert len(router.last_calls) == router.num_shards
+
+
+def test_range_lookup_batch_mixes_boundary_cases(keyset):
+    """One batch mixing all boundary flavours stays in request order."""
+    router = ShardRouter(
+        keyset.keys,
+        keyset.row_ids,
+        factory=sorted_array_factory(),
+        num_shards=4,
+        partitioner="range",
+        key_bits=32,
+    )
+    boundary = int(router.partitioner.boundaries[1])
+    lows = [0, boundary, 500, int(np.iinfo(np.uint32).max)]
+    highs = [int(np.iinfo(np.uint32).max), boundary - 1, 100, int(np.iinfo(np.uint32).max)]
+    assert_ranges_match_single_instance(router, keyset, lows, highs)
+
+
+# --------------------------------------------------------------------------
 # Batch scheduler
 # --------------------------------------------------------------------------
 
