@@ -9,10 +9,11 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-cgrx",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Software reproduction of cgRX (ICDE 2025): hardware-accelerated "
-        "coarse-granular GPU indexing, with a sharded, replicated serving layer"
+        "coarse-granular GPU indexing, with a vectorized batch execution "
+        "engine and a sharded, replicated serving layer"
     ),
     long_description=(
         "Pure Python/numpy reproduction of 'More Bang For Your Buck(et): "

@@ -22,6 +22,7 @@ from repro.baselines.base import (
     RangeLookupResult,
     UpdateResult,
 )
+from repro.core.config import validate_engine
 from repro.core.key_mapping import KeyMapping
 from repro.gpu.accel import accel_build_stats, accel_refit_stats, triangle_generation_stats
 from repro.gpu.cost_model import RT_NODE_RESIDUAL_BYTES, RT_TRIANGLE_RESIDUAL_BYTES
@@ -63,10 +64,13 @@ class RXIndex(GpuIndex):
         scaled_mapping: bool = True,
         bvh_leaf_size: int = 4,
         device: GpuDevice = RTX_4090,
+        engine: str = "vector",
     ) -> None:
         super().__init__(device)
         if key_bits not in (32, 64):
             raise ValueError("key_bits must be 32 or 64")
+        #: Batch execution engine for point lookups (results are identical).
+        self.engine = validate_engine(engine)
         self.key_bits = key_bits
         self.key_bytes = key_bits // 8
         self._key_dtype = np.uint32 if key_bits == 32 else np.uint64
@@ -124,6 +128,35 @@ class RXIndex(GpuIndex):
         xs = self.mapping.x_of(keys).astype(np.int64)
         ys = self.mapping.y_of(keys).astype(np.int64)
         zs = self.mapping.z_of(keys).astype(np.int64)
+
+        if self.engine == "vector":
+            # One wavefront launch for the whole batch: per-ray hits and node
+            # visits come back as arrays, identical to the scalar loop.
+            origins = np.stack(
+                [
+                    xs.astype(np.float64) - 0.5,
+                    ys.astype(np.float64) * self.mapping.y_scale,
+                    zs.astype(np.float64) * self.mapping.z_scale,
+                ],
+                axis=1,
+            )
+            batch = self.pipeline.cast_axis_all_batch(
+                0, origins, np.full(num_lookups, 1.0), stats=ray_stats
+            )
+            if batch.ray.size:
+                aggregates = np.zeros(num_lookups, dtype=np.int64)
+                np.add.at(
+                    aggregates,
+                    batch.ray,
+                    self.row_ids[batch.primitive_index].astype(np.int64),
+                )
+                match_counts = batch.hit_counts.astype(np.int64)
+                row_agg = np.where(match_counts > 0, aggregates, -1)
+            work_sample = [int(nodes) for nodes in batch.nodes_visited[::sample_every]]
+            stats = self._ray_lookup_stats(
+                "rx.point_lookup", num_lookups, ray_stats, work_sample, keys
+            )
+            return LookupResult(row_ids=row_agg, match_counts=match_counts, stats=stats)
 
         for position in range(num_lookups):
             origin = (

@@ -1097,6 +1097,151 @@ def availability(
 
 
 # --------------------------------------------------------------------------
+# Hotpath: wall-clock scalar vs vector (the perf trajectory)
+# --------------------------------------------------------------------------
+
+
+def hotpath(
+    num_keys: int = 100_000,
+    batch_sizes: Sequence[int] = (256, 1024, 4096),
+    num_ranges: int = 512,
+    range_hits: int = 16,
+    update_size: int = 4096,
+    key_bits: int = 64,
+    repeats: int = 3,
+    quick: bool = False,
+    seed: int = 67,
+) -> ExperimentResult:
+    """Hotpath experiment: *real* wall-clock scalar-vs-vector speedups.
+
+    Unlike every other experiment (which reports simulated GPU time), this one
+    measures how long the reproduction itself takes to answer batches — the
+    first entry in the repo's wall-clock perf trajectory.  One cgRXu index is
+    built once and queried under both engines (best of ``repeats``); every row
+    carries an ``identical`` flag proving the vector engine returned
+    byte-identical answers *and* identical instrumentation counters.
+
+    ``quick=True`` shrinks the workload for CI smoke runs.
+    """
+    import time
+
+    if quick:
+        num_keys = min(num_keys, 20_000)
+        batch_sizes = tuple(b for b in batch_sizes if b <= 1024) or (256,)
+        num_ranges = min(num_ranges, 128)
+        update_size = min(update_size, 1024)
+        repeats = 2
+
+    result = ExperimentResult(
+        name="hotpath",
+        description="Wall-clock speedup of the vector batch engine over the scalar reference",
+        parameters={
+            "num_keys": num_keys,
+            "batch_sizes": list(batch_sizes),
+            "num_ranges": num_ranges,
+            "range_hits": range_hits,
+            "update_size": update_size,
+            "key_bits": key_bits,
+            "repeats": repeats,
+            "quick": quick,
+        },
+    )
+    keyset = generate_keys(num_keys, uniformity=0.8, key_bits=key_bits, seed=seed)
+    index = CgRXuIndex(keyset.keys, keyset.row_ids, CgRXuConfig(key_bits=key_bits))
+
+    def timed(engine: str, call):
+        index.config.engine = engine
+        best = float("inf")
+        answer = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            answer = call()
+            best = min(best, time.perf_counter() - start)
+        return best, answer
+
+    def stats_identical(a, b) -> bool:
+        return dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    # (a) Point lookups across batch sizes.
+    for batch_size in batch_sizes:
+        lookups = uniform_lookups(keyset, batch_size, seed=seed + batch_size)
+        scalar_s, scalar_result = timed(
+            "scalar", lambda: index.point_lookup_batch(lookups)
+        )
+        vector_s, vector_result = timed(
+            "vector", lambda: index.point_lookup_batch(lookups)
+        )
+        result.add(
+            panel="a_point",
+            batch_size=batch_size,
+            scalar_ms=scalar_s * 1e3,
+            vector_ms=vector_s * 1e3,
+            speedup=scalar_s / vector_s,
+            identical=bool(
+                scalar_result.row_ids.tobytes() == vector_result.row_ids.tobytes()
+                and scalar_result.match_counts.tobytes()
+                == vector_result.match_counts.tobytes()
+                and stats_identical(scalar_result.stats, vector_result.stats)
+            ),
+        )
+
+    # (b) Range lookups.
+    lows, highs = range_lookups(keyset, count=num_ranges, expected_hits=range_hits, seed=seed + 1)
+    scalar_s, scalar_range = timed("scalar", lambda: index.range_lookup_batch(lows, highs))
+    vector_s, vector_range = timed("vector", lambda: index.range_lookup_batch(lows, highs))
+    result.add(
+        panel="b_range",
+        batch_size=num_ranges,
+        scalar_ms=scalar_s * 1e3,
+        vector_ms=vector_s * 1e3,
+        speedup=scalar_s / vector_s,
+        identical=bool(
+            all(
+                a.tobytes() == b.tobytes()
+                for a, b in zip(scalar_range.row_ids, vector_range.row_ids)
+            )
+            and stats_identical(scalar_range.stats, vector_range.stats)
+        ),
+    )
+
+    # (c) Update batch: fresh indexes (updates mutate), one per engine.
+    rng = np.random.default_rng(seed + 2)
+    insert_keys = rng.choice(keyset.keys, size=update_size).astype(keyset.keys.dtype)
+    delete_keys = rng.choice(
+        keyset.keys, size=update_size // 2, replace=False
+    ).astype(keyset.keys.dtype)
+    updates = {}
+    for engine in ("scalar", "vector"):
+        fresh = CgRXuIndex(
+            keyset.keys,
+            keyset.row_ids,
+            CgRXuConfig(key_bits=key_bits, engine=engine),
+        )
+        start = time.perf_counter()
+        outcome = fresh.update_batch(insert_keys=insert_keys, delete_keys=delete_keys)
+        updates[engine] = (time.perf_counter() - start, outcome, fresh)
+    scalar_s, scalar_update, scalar_index = updates["scalar"]
+    vector_s, vector_update, vector_index = updates["vector"]
+    scalar_entries = scalar_index.export_entries()
+    vector_entries = vector_index.export_entries()
+    result.add(
+        panel="c_update",
+        batch_size=update_size + update_size // 2,
+        scalar_ms=scalar_s * 1e3,
+        vector_ms=vector_s * 1e3,
+        speedup=scalar_s / vector_s,
+        identical=bool(
+            scalar_update.inserted == vector_update.inserted
+            and scalar_update.deleted == vector_update.deleted
+            and stats_identical(scalar_update.stats, vector_update.stats)
+            and scalar_entries[0].tobytes() == vector_entries[0].tobytes()
+            and scalar_entries[1].tobytes() == vector_entries[1].tobytes()
+        ),
+    )
+    return result
+
+
+# --------------------------------------------------------------------------
 # Running everything
 # --------------------------------------------------------------------------
 
@@ -1116,17 +1261,30 @@ ALL_EXPERIMENTS = {
     "figure_18": figure_18_updates,
     "serving": serving_deployment,
     "availability": availability,
+    "hotpath": hotpath,
 }
 
 
-def run_all(names: Optional[Iterable[str]] = None) -> List[ExperimentResult]:
-    """Run all (or the selected) experiments and return their results."""
+def run_all(
+    names: Optional[Iterable[str]] = None, quick: bool = False
+) -> List[ExperimentResult]:
+    """Run all (or the selected) experiments and return their results.
+
+    ``quick=True`` is forwarded to every experiment that supports a ``quick``
+    parameter (currently ``hotpath``); the others ignore it.
+    """
+    import inspect
+
     selected = list(names) if names is not None else list(ALL_EXPERIMENTS)
     results = []
     for name in selected:
         if name not in ALL_EXPERIMENTS:
             raise KeyError(f"unknown experiment {name!r}; available: {sorted(ALL_EXPERIMENTS)}")
-        results.append(ALL_EXPERIMENTS[name]())
+        function = ALL_EXPERIMENTS[name]
+        kwargs = {}
+        if quick and "quick" in inspect.signature(function).parameters:
+            kwargs["quick"] = True
+        results.append(function(**kwargs))
     return results
 
 
@@ -1137,20 +1295,25 @@ def main() -> None:
     result as ``BENCH_<name>.json`` — the committed ``BENCH_*.json``
     snapshots are produced exactly this way.  The directory is bound with
     ``=`` so experiment names are never mistaken for an output path.
+    ``--quick`` shrinks the workloads of experiments that support it (used by
+    the CI perf-smoke job).
     """
     import sys
 
     json_dir: Optional[str] = None
+    quick = False
     arguments = []
     for argument in sys.argv[1:]:
         if argument == "--json":
             json_dir = "."
         elif argument.startswith("--json="):
             json_dir = argument[len("--json="):] or "."
+        elif argument == "--quick":
+            quick = True
         else:
             arguments.append(argument)
     names = arguments or None
-    for result in run_all(names):
+    for result in run_all(names, quick=quick):
         result.print()
         print()
         if json_dir is not None:

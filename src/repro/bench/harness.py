@@ -207,6 +207,7 @@ def sharded_factory(
     replication_factor: int = 1,
     read_policy: str = "round_robin",
     write_quorum: Optional[int] = None,
+    engine: str = "vector",
     **config_kwargs: object,
 ) -> IndexFactory:
     """Factory for a served :class:`~repro.serve.sharded.ShardedIndex` deployment.
@@ -215,7 +216,10 @@ def sharded_factory(
     omitted); the remaining arguments configure the serving layer, so bench
     experiments can compare served deployments against bare indexes.  With
     ``replication_factor > 1`` every shard becomes a replica group with
-    load-balanced reads and quorum-acknowledged writes.
+    load-balanced reads and quorum-acknowledged writes.  ``engine`` selects
+    the router's scatter/gather engine; pass ``engine=...`` to the *inner*
+    factory (e.g. ``cgrxu_factory(128, engine="scalar")``) to select the
+    per-shard index engine.
     """
 
     def build(keyset: KeySet, device: GpuDevice = RTX_4090) -> GpuIndex:
@@ -229,6 +233,7 @@ def sharded_factory(
             replication_factor=replication_factor,
             read_policy=read_policy,
             write_quorum=write_quorum,
+            engine=engine,
             **config_kwargs,
         )
         return ShardedIndex(

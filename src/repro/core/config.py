@@ -37,6 +37,20 @@ class BucketLayout(str, Enum):
     COLUMN = "column"
 
 
+#: Valid batch execution engines.  ``"vector"`` (the default) answers whole
+#: batches with structure-of-arrays numpy kernels and wavefront BVH traversal;
+#: ``"scalar"`` keeps the original one-key/one-ray-at-a-time reference paths.
+#: Both produce byte-identical results and identical instrumentation counters.
+ENGINES = ("scalar", "vector")
+
+
+def validate_engine(engine: str) -> str:
+    """Validate an engine name (shared by configs, indexes and the router)."""
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine
+
+
 @dataclass
 class CgRXConfig:
     """Configuration of the static cgRX index."""
@@ -56,6 +70,8 @@ class CgRXConfig:
     bucket_layout: BucketLayout = BucketLayout.ROW
     #: Maximum number of triangles per BVH leaf.
     bvh_leaf_size: int = 4
+    #: Batch execution engine: ``"vector"`` (SoA/wavefront) or ``"scalar"``.
+    engine: str = "vector"
 
     def __post_init__(self) -> None:
         if self.bucket_size < 1:
@@ -70,6 +86,7 @@ class CgRXConfig:
             self.search_strategy = SearchStrategy(self.search_strategy)
         if isinstance(self.bucket_layout, str):
             self.bucket_layout = BucketLayout(self.bucket_layout)
+        validate_engine(self.engine)
 
     @property
     def key_bytes(self) -> int:
@@ -98,6 +115,8 @@ class CgRXuConfig:
     representation: Representation = Representation.OPTIMIZED
     #: Maximum number of triangles per BVH leaf.
     bvh_leaf_size: int = 4
+    #: Batch execution engine: ``"vector"`` (SoA/wavefront) or ``"scalar"``.
+    engine: str = "vector"
 
     def __post_init__(self) -> None:
         if self.node_bytes < 32:
@@ -108,6 +127,7 @@ class CgRXuConfig:
             raise ValueError("key_bits must be 32 or 64")
         if isinstance(self.representation, str):
             self.representation = Representation(self.representation)
+        validate_engine(self.engine)
 
     @property
     def key_bytes(self) -> int:

@@ -120,12 +120,17 @@ class CgRXIndex(GpuIndex):
 
         Returns the bucketID per key (:data:`MISS` for out-of-range keys), the
         aggregated ray statistics and a sample of per-lookup work used for the
-        divergence estimate.
+        divergence estimate.  The vector engine answers the batch with
+        wavefront launches; counters and samples are identical either way.
         """
         stats = RayStats()
+        sample_every = max(1, keys.shape[0] // _DIVERGENCE_SAMPLE)
+        if self.config.engine == "vector":
+            bucket_ids, ray_nodes = self.representation.locate_bucket_batch(keys, stats)
+            work_sample = [int(nodes) for nodes in ray_nodes[::sample_every]]
+            return bucket_ids, stats, work_sample
         bucket_ids = np.empty(keys.shape[0], dtype=np.int64)
         work_sample: List[int] = []
-        sample_every = max(1, keys.shape[0] // _DIVERGENCE_SAMPLE)
         previous_nodes = 0
         for position, key in enumerate(keys):
             bucket_ids[position] = self.representation.locate_bucket(int(key), stats)

@@ -220,6 +220,74 @@ class NodeStorage:
             yield index
             index = self.node_next(index)
 
+    # ------------------------------------------------------------- SoA access
+    #
+    # The batch execution engine walks many chains at once; these views expose
+    # the slab arrays directly so its kernels can gather node rows without
+    # per-node Python calls.
+
+    @property
+    def keys_matrix(self) -> np.ndarray:
+        """All node key slots as a ``(total, capacity)`` matrix (shared view)."""
+        return self._keys
+
+    @property
+    def row_ids_matrix(self) -> np.ndarray:
+        """All node rowID slots as a ``(total, capacity)`` matrix (shared view)."""
+        return self._row_ids
+
+    @property
+    def sizes_array(self) -> np.ndarray:
+        """Occupied-slot count per node (shared view)."""
+        return self._sizes
+
+    @property
+    def max_keys_array(self) -> np.ndarray:
+        """``maxKey`` per node (shared view)."""
+        return self._max_keys
+
+    @property
+    def next_array(self) -> np.ndarray:
+        """``next`` pointer per node (shared view)."""
+        return self._next
+
+    def flatten_chains(self, num_chains: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Flatten the first ``num_chains`` chains into one node-order table.
+
+        Returns ``(order, starts)`` where ``order`` lists node indices in
+        bucket-major chain order (chain 0 head-to-tail, then chain 1, ...)
+        and ``starts[b]`` is chain ``b``'s offset into ``order``
+        (``starts[num_chains]`` is the total).  Built with lockstep pointer
+        chasing — the cost is O(max chain length) numpy passes, not O(nodes)
+        Python iterations.
+        """
+        heads = np.arange(num_chains, dtype=np.int64)
+        lengths = np.ones(num_chains, dtype=np.int64)
+        cursor = self._next[heads]
+        live = np.nonzero(cursor != NO_NEXT)[0]
+        cursor = cursor[live]
+        while live.size:
+            lengths[live] += 1
+            cursor = self._next[cursor]
+            keep = cursor != NO_NEXT
+            live = live[keep]
+            cursor = cursor[keep]
+
+        starts = np.zeros(num_chains + 1, dtype=np.int64)
+        np.cumsum(lengths, out=starts[1:])
+        order = np.empty(int(starts[-1]), dtype=np.int64)
+        live = heads
+        cursor = heads.copy()
+        level = 0
+        while live.size:
+            order[starts[live] + level] = cursor
+            cursor = self._next[cursor]
+            keep = cursor != NO_NEXT
+            live = live[keep]
+            cursor = cursor[keep]
+            level += 1
+        return order, starts
+
     def chain_entries(self, head: int) -> Tuple[np.ndarray, np.ndarray]:
         """All keys and rowIDs of a chain, in sorted order."""
         keys: List[np.ndarray] = []

@@ -123,6 +123,12 @@ class CgRXuIndex(GpuIndex):
             ]
         )
 
+        #: Cached entry count, kept incrementally up to date by the update
+        #: path so ``__len__`` never re-walks the chains.
+        self._num_entries = len(self.bucketed)
+        #: Cached flattened chain tables, invalidated by updates.
+        self._chain_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
         num_triangles = self.representation.triangle_count()
         bvh_bytes = self.pipeline.bvh.memory_footprint_bytes()
         self.build_stats = [
@@ -147,16 +153,17 @@ class CgRXuIndex(GpuIndex):
             return self.overflow_bucket
         return bucket
 
-    def _collect(self, bucket: int, key: int) -> Tuple[List[int], int, int]:
-        """Collect all rowIDs matching ``key`` starting at ``bucket``'s chain.
+    def _collect(self, bucket: int, key: int) -> Tuple[int, int, int, int]:
+        """Collect the rowID aggregate for ``key`` starting at ``bucket``'s chain.
 
         Mirrors the array-scan semantics of static cgRX: the search continues
         across nodes (and, for duplicate groups hugging a bucket boundary,
         into the next bucket) until the first key larger than the target is
-        seen.  Returns ``(row_ids, nodes_visited, entries_touched)``.
+        seen.  Returns ``(row_sum, matches, nodes_visited, entries_touched)``.
         """
         key_value = int(key)
-        row_ids: List[int] = []
+        row_sum = 0
+        matches = 0
         nodes_visited = 0
         entries_touched = 0
 
@@ -174,7 +181,10 @@ class CgRXuIndex(GpuIndex):
                 right = int(np.searchsorted(node_keys, target, side="right"))
                 entries_touched += max(1, right - left)
                 if left < right:
-                    row_ids.extend(int(r) for r in self.nodes.node_row_ids(node)[left:right])
+                    row_sum += int(
+                        self.nodes.node_row_ids(node)[left:right].sum(dtype=np.int64)
+                    )
+                    matches += right - left
                 if right < size:
                     saw_larger = True
                     break
@@ -189,34 +199,18 @@ class CgRXuIndex(GpuIndex):
                 continue
             break
 
-        return row_ids, nodes_visited, entries_touched
+        return row_sum, matches, nodes_visited, entries_touched
 
-    def point_lookup_batch(self, keys: np.ndarray) -> LookupResult:
-        """Batched point lookups: raytracing stage plus node-chain traversal."""
-        keys = np.asarray(keys, dtype=self._key_dtype)
-        num_lookups = keys.shape[0]
-
-        ray_stats = RayStats()
-        row_agg = np.full(num_lookups, -1, dtype=np.int64)
-        match_counts = np.zeros(num_lookups, dtype=np.int64)
-        total_nodes = 0
-        total_entries = 0
-        work_sample: List[int] = []
-        sample_every = max(1, num_lookups // _DIVERGENCE_SAMPLE)
-        previous_nodes = 0
-
-        for position, key in enumerate(keys):
-            bucket = self._route_key(int(key), ray_stats)
-            matches, nodes_visited, entries = self._collect(bucket, int(key))
-            total_nodes += nodes_visited
-            total_entries += entries
-            if matches:
-                row_agg[position] = sum(matches)
-                match_counts[position] = len(matches)
-            if position % sample_every == 0:
-                work_sample.append(ray_stats.nodes_visited - previous_nodes + nodes_visited)
-            previous_nodes = ray_stats.nodes_visited
-
+    def _point_lookup_stats(
+        self,
+        keys: np.ndarray,
+        ray_stats: RayStats,
+        total_nodes: int,
+        total_entries: int,
+        work_sample: List[int],
+    ) -> KernelStats:
+        """Kernel record of a point-lookup batch (shared by both engines)."""
+        num_lookups = int(keys.shape[0])
         stats = KernelStats(name="cgrxu.point_lookup", threads=num_lookups, launches=2)
         stats.rays_cast = ray_stats.rays_cast
         stats.bvh_node_visits = ray_stats.nodes_visited
@@ -231,7 +225,166 @@ class CgRXuIndex(GpuIndex):
         stats.cache_hit_fraction = self.cost_model.cache_hit_fraction(
             self.memory_footprint().total_bytes, self._unique_fraction(keys)
         )
+        return stats
+
+    def point_lookup_batch(self, keys: np.ndarray) -> LookupResult:
+        """Batched point lookups: raytracing stage plus node-chain traversal.
+
+        The ``vector`` engine answers the whole batch with wavefront routing
+        and a lockstep chain walk over the flattened chain tables; results and
+        counters are byte-identical to the scalar reference path.
+        """
+        keys = np.asarray(keys, dtype=self._key_dtype)
+        if self.config.engine == "vector":
+            return self._point_lookup_batch_vector(keys)
+        return self._point_lookup_batch_scalar(keys)
+
+    def _point_lookup_batch_scalar(self, keys: np.ndarray) -> LookupResult:
+        """Reference path: one key and one ray at a time."""
+        num_lookups = keys.shape[0]
+
+        ray_stats = RayStats()
+        row_agg = np.full(num_lookups, -1, dtype=np.int64)
+        match_counts = np.zeros(num_lookups, dtype=np.int64)
+        total_nodes = 0
+        total_entries = 0
+        work_sample: List[int] = []
+        sample_every = max(1, num_lookups // _DIVERGENCE_SAMPLE)
+        previous_nodes = 0
+
+        for position, key in enumerate(keys):
+            bucket = self._route_key(int(key), ray_stats)
+            row_sum, matches, nodes_visited, entries = self._collect(bucket, int(key))
+            total_nodes += nodes_visited
+            total_entries += entries
+            if matches:
+                row_agg[position] = row_sum
+                match_counts[position] = matches
+            if position % sample_every == 0:
+                work_sample.append(ray_stats.nodes_visited - previous_nodes + nodes_visited)
+            previous_nodes = ray_stats.nodes_visited
+
+        stats = self._point_lookup_stats(
+            keys, ray_stats, total_nodes, total_entries, work_sample
+        )
         return LookupResult(row_ids=row_agg, match_counts=match_counts, stats=stats)
+
+    def _point_lookup_batch_vector(self, keys: np.ndarray) -> LookupResult:
+        """Vector path: wavefront routing plus a lockstep batched chain walk."""
+        num_lookups = int(keys.shape[0])
+        ray_stats = RayStats()
+        bucket_ids, ray_nodes = self.representation.locate_bucket_batch(keys, ray_stats)
+        buckets = np.where(bucket_ids == MISS, self.overflow_bucket, bucket_ids)
+
+        row_sum, match_counts, chain_nodes, entries = self._collect_batch(buckets, keys)
+        row_agg = np.where(match_counts > 0, row_sum, -1).astype(np.int64)
+
+        sample_every = max(1, num_lookups // _DIVERGENCE_SAMPLE)
+        per_key_work = ray_nodes + chain_nodes
+        work_sample = [int(work) for work in per_key_work[::sample_every]]
+        stats = self._point_lookup_stats(
+            keys,
+            ray_stats,
+            int(chain_nodes.sum()),
+            int(entries.sum()),
+            work_sample,
+        )
+        return LookupResult(
+            row_ids=row_agg, match_counts=match_counts.astype(np.int64), stats=stats
+        )
+
+    # --------------------------------------------------- vectorized chain walk
+
+    def _chain_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Flattened chain tables ``(order, starts)``, cached until an update.
+
+        ``order`` lists every node in bucket-major chain order; a batched walk
+        that starts at bucket ``b`` simply advances through
+        ``order[starts[b]:]`` — crossing into the next bucket's chain is the
+        same ``+= 1`` step the scalar walk performs explicitly.
+        """
+        if self._chain_cache is None:
+            self._chain_cache = self.nodes.flatten_chains(self.overflow_bucket + 1)
+        return self._chain_cache
+
+    def _collect_batch(
+        self, buckets: np.ndarray, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Lockstep :meth:`_collect` for a whole batch.
+
+        All still-searching keys advance one node per iteration; the per-node
+        binary searches become masked comparisons over gathered ``(key, slot)``
+        matrices.  Returns per-key ``(row_sum, matches, nodes, entries)``.
+        """
+        order, starts = self._chain_table()
+        nodes = self.nodes
+        keys_matrix = nodes.keys_matrix
+        row_ids_matrix = nodes.row_ids_matrix
+        sizes = nodes.sizes_array
+        max_keys = nodes.max_keys_array
+        next_nodes = nodes.next_array
+        lanes = np.arange(nodes.node_capacity)
+
+        num_keys = int(keys.shape[0])
+        row_sum = np.zeros(num_keys, dtype=np.int64)
+        matches = np.zeros(num_keys, dtype=np.int64)
+        nodes_visited = np.zeros(num_keys, dtype=np.int64)
+        entries = np.zeros(num_keys, dtype=np.int64)
+
+        keys64 = keys.astype(np.uint64)
+        position = starts[buckets].copy()
+        end = int(order.shape[0])
+        active = np.nonzero(position < end)[0]
+        while active.size:
+            node = order[position[active]]
+            nodes_visited[active] += 1
+            node_sizes = sizes[node].astype(np.int64)
+            skip = (max_keys[node] < keys64[active]) & (next_nodes[node] != NO_NEXT)
+            search = np.nonzero(~skip)[0]
+            done = np.zeros(active.size, dtype=bool)
+            if search.size:
+                search_keys = active[search]
+                search_nodes = node[search]
+                search_sizes = node_sizes[search]
+                node_keys = keys_matrix[search_nodes]
+                occupied = lanes[None, :] < search_sizes[:, None]
+                target = keys[search_keys][:, None]
+                left = ((node_keys < target) & occupied).sum(axis=1)
+                right = ((node_keys <= target) & occupied).sum(axis=1)
+                entries[search_keys] += np.maximum(1, right - left)
+                matched = occupied & (node_keys == target)
+                matches[search_keys] += matched.sum(axis=1)
+                row_sum[search_keys] += np.where(
+                    matched, row_ids_matrix[search_nodes].astype(np.int64), 0
+                ).sum(axis=1)
+                done[search] = right < search_sizes
+            position[active] += 1
+            keep = ~done & (position[active] < end)
+            active = active[keep]
+        return row_sum, matches, nodes_visited, entries
+
+    def _range_lookup_stats(
+        self,
+        lows: np.ndarray,
+        ray_stats: RayStats,
+        total_nodes: int,
+        total_entries: int,
+        total_results: int,
+    ) -> KernelStats:
+        """Kernel record of a range-lookup batch (shared by both engines)."""
+        stats = KernelStats(name="cgrxu.range_lookup", threads=lows.shape[0], launches=2)
+        stats.rays_cast = ray_stats.rays_cast
+        stats.bvh_node_visits = ray_stats.nodes_visited
+        stats.triangle_tests = ray_stats.triangle_tests
+        stats.bytes_read += ray_stats.nodes_visited * RT_NODE_RESIDUAL_BYTES
+        stats.bytes_read += ray_stats.triangle_tests * RT_TRIANGLE_RESIDUAL_BYTES
+        stats.bytes_read += total_nodes * self.config.node_bytes
+        stats.bytes_written += total_results * 4
+        stats.compute_ops += total_entries
+        stats.cache_hit_fraction = self.cost_model.cache_hit_fraction(
+            self.memory_footprint().total_bytes, self._unique_fraction(lows)
+        )
+        return stats
 
     def range_lookup_batch(self, lows: np.ndarray, highs: np.ndarray) -> RangeLookupResult:
         """Batched range lookups: locate the lower bound, then walk chains forward."""
@@ -239,7 +392,14 @@ class CgRXuIndex(GpuIndex):
         highs = np.asarray(highs, dtype=self._key_dtype)
         if lows.shape != highs.shape:
             raise ValueError("lows and highs must have the same shape")
+        if self.config.engine == "vector":
+            return self._range_lookup_batch_vector(lows, highs)
+        return self._range_lookup_batch_scalar(lows, highs)
 
+    def _range_lookup_batch_scalar(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> RangeLookupResult:
+        """Reference path: one range and one ray at a time."""
         ray_stats = RayStats()
         results: List[np.ndarray] = []
         total_nodes = 0
@@ -276,19 +436,121 @@ class CgRXuIndex(GpuIndex):
             else:
                 results.append(np.empty(0, dtype=np.uint32))
 
-        stats = KernelStats(name="cgrxu.range_lookup", threads=lows.shape[0], launches=2)
-        stats.rays_cast = ray_stats.rays_cast
-        stats.bvh_node_visits = ray_stats.nodes_visited
-        stats.triangle_tests = ray_stats.triangle_tests
-        stats.bytes_read += ray_stats.nodes_visited * RT_NODE_RESIDUAL_BYTES
-        stats.bytes_read += ray_stats.triangle_tests * RT_TRIANGLE_RESIDUAL_BYTES
-        stats.bytes_read += total_nodes * self.config.node_bytes
-        stats.bytes_written += sum(r.shape[0] for r in results) * 4
-        stats.compute_ops += total_entries
-        stats.cache_hit_fraction = self.cost_model.cache_hit_fraction(
-            self.memory_footprint().total_bytes, self._unique_fraction(lows)
+        stats = self._range_lookup_stats(
+            lows,
+            ray_stats,
+            total_nodes,
+            total_entries,
+            sum(r.shape[0] for r in results),
         )
         return RangeLookupResult(row_ids=results, stats=stats)
+
+    def _range_lookup_batch_vector(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> RangeLookupResult:
+        """Vector path: wavefront routing plus a lockstep forward chain walk."""
+        num_queries = int(lows.shape[0])
+        ray_stats = RayStats()
+        bucket_ids, _ = self.representation.locate_bucket_batch(lows, ray_stats)
+        buckets = np.where(bucket_ids == MISS, self.overflow_bucket, bucket_ids)
+
+        order, starts = self._chain_table()
+        nodes = self.nodes
+        keys_matrix = nodes.keys_matrix
+        sizes = nodes.sizes_array
+        lanes = np.arange(nodes.node_capacity)
+
+        total_nodes = 0
+        total_entries = 0
+        segment_query: List[np.ndarray] = []
+        segment_node: List[np.ndarray] = []
+        segment_left: List[np.ndarray] = []
+        segment_right: List[np.ndarray] = []
+
+        position = starts[buckets].copy()
+        end = int(order.shape[0])
+        active = np.nonzero(position < end)[0] if num_queries else np.empty(0, np.int64)
+        while active.size:
+            node = order[position[active]]
+            total_nodes += int(active.size)
+            node_sizes = sizes[node].astype(np.int64)
+            nonempty = np.nonzero(node_sizes > 0)[0]
+            done = np.zeros(active.size, dtype=bool)
+            if nonempty.size:
+                query = active[nonempty]
+                query_nodes = node[nonempty]
+                query_sizes = node_sizes[nonempty]
+                node_keys = keys_matrix[query_nodes]
+                occupied = lanes[None, :] < query_sizes[:, None]
+                left = ((node_keys < lows[query][:, None]) & occupied).sum(axis=1)
+                right = ((node_keys <= highs[query][:, None]) & occupied).sum(axis=1)
+                total_entries += int(np.maximum(1, right - left).sum())
+                has_rows = left < right
+                if has_rows.any():
+                    segment_query.append(query[has_rows])
+                    segment_node.append(query_nodes[has_rows])
+                    segment_left.append(left[has_rows])
+                    segment_right.append(right[has_rows])
+                done[nonempty] = right < query_sizes
+            position[active] += 1
+            keep = ~done & (position[active] < end)
+            active = active[keep]
+
+        results = self._assemble_range_results(
+            num_queries, segment_query, segment_node, segment_left, segment_right
+        )
+        stats = self._range_lookup_stats(
+            lows,
+            ray_stats,
+            total_nodes,
+            total_entries,
+            sum(r.shape[0] for r in results),
+        )
+        return RangeLookupResult(row_ids=results, stats=stats)
+
+    def _assemble_range_results(
+        self,
+        num_queries: int,
+        segment_query: List[np.ndarray],
+        segment_node: List[np.ndarray],
+        segment_left: List[np.ndarray],
+        segment_right: List[np.ndarray],
+    ) -> List[np.ndarray]:
+        """Gather the collected per-node slices into per-query result arrays.
+
+        Segments were recorded in lockstep-walk order, so a stable sort by
+        query id reproduces the scalar walk order per query; one flattened
+        gather then materialises every slice without per-entry Python work.
+        """
+        empty = np.empty(0, dtype=np.uint32)
+        if not segment_query:
+            return [empty for _ in range(num_queries)]
+        query = np.concatenate(segment_query)
+        node = np.concatenate(segment_node)
+        left = np.concatenate(segment_left)
+        right = np.concatenate(segment_right)
+        order = np.argsort(query, kind="stable")
+        query, node, left, right = query[order], node[order], left[order], right[order]
+
+        lengths = right - left
+        total = int(lengths.sum())
+        slice_starts = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        capacity = self.nodes.node_capacity
+        flat_base = node * capacity + left
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(slice_starts, lengths)
+        values = self.nodes.row_ids_matrix.reshape(-1)[
+            np.repeat(flat_base, lengths) + offsets
+        ]
+
+        per_query = np.zeros(num_queries + 1, dtype=np.int64)
+        np.add.at(per_query, query + 1, lengths)
+        bounds = np.cumsum(per_query)
+        return [
+            values[bounds[index] : bounds[index + 1]].copy()
+            if bounds[index + 1] > bounds[index]
+            else empty
+            for index in range(num_queries)
+        ]
 
     # ---------------------------------------------------------------- updates
 
@@ -338,29 +600,62 @@ class CgRXuIndex(GpuIndex):
         apply_stats = KernelStats(
             name="cgrxu.apply", threads=self.overflow_bucket + 1, launches=1
         )
+        num_buckets = self.overflow_bucket + 1
+        # Two binary searches on the sorted batch identify each thread's slice.
+        slice_ops = 2 * max(1, int(np.log2(max(insert_keys.shape[0], 2))))
 
-        for bucket in range(self.overflow_bucket + 1):
-            low = int(lowers[bucket])
-            high = int(uppers[bucket])
-            delete_lo, delete_hi = self._batch_range(delete_keys, low, high)
-            bucket_deletes = delete_keys[delete_lo:delete_hi]
-            bucket_inserts_lo, bucket_inserts_hi = self._batch_range(insert_keys, low, high)
+        if self.config.engine == "vector":
+            # Vectorized partitioning: both binary-search sweeps over the
+            # sorted batch run as single searchsorted calls, and only buckets
+            # that actually received work are visited below.
+            deletes_lo, deletes_hi = self._batch_ranges(delete_keys, lowers, uppers)
+            inserts_lo_all, inserts_hi_all = self._batch_ranges(insert_keys, lowers, uppers)
+            apply_stats.compute_ops += num_buckets * slice_ops
+            touched = np.nonzero(
+                (deletes_hi > deletes_lo) | (inserts_hi_all > inserts_lo_all)
+            )[0]
+            bucket_slices = [
+                (
+                    int(bucket),
+                    int(deletes_lo[bucket]),
+                    int(deletes_hi[bucket]),
+                    int(inserts_lo_all[bucket]),
+                    int(inserts_hi_all[bucket]),
+                )
+                for bucket in touched
+            ]
+        else:
+            bucket_slices = []
+            for bucket in range(num_buckets):
+                low = int(lowers[bucket])
+                high = int(uppers[bucket])
+                d_lo, d_hi = self._batch_range(delete_keys, low, high)
+                i_lo, i_hi = self._batch_range(insert_keys, low, high)
+                apply_stats.compute_ops += slice_ops
+                bucket_slices.append((bucket, d_lo, d_hi, i_lo, i_hi))
+
+        # Invalidate before mutating and keep the entry count per-operation:
+        # even if the apply is interrupted mid-batch, later reads see the
+        # live chains and a correct count.
+        self._chain_cache = None
+
+        for bucket, delete_lo, delete_hi, inserts_lo, inserts_hi in bucket_slices:
             work = 0
-            # Two binary searches on the sorted batch identify this thread's slice.
-            apply_stats.compute_ops += 2 * max(1, int(np.log2(max(insert_keys.shape[0], 2))))
 
-            for key in bucket_deletes:
+            for key in delete_keys[delete_lo:delete_hi]:
                 removed, visited = self._delete_one(bucket, int(key))
                 deleted += int(removed)
+                self._num_entries -= int(removed)
                 work += visited
                 apply_stats.bytes_read += visited * self.config.node_bytes
                 apply_stats.bytes_written += self.config.node_bytes // 2
 
-            for offset in range(bucket_inserts_lo, bucket_inserts_hi):
+            for offset in range(inserts_lo, inserts_hi):
                 visited = self._insert_one(
                     bucket, int(insert_keys[offset]), int(insert_row_ids[offset])
                 )
                 inserted += 1
+                self._num_entries += 1
                 work += visited
                 apply_stats.bytes_read += visited * self.config.node_bytes
                 apply_stats.bytes_written += self.config.node_bytes // 2
@@ -387,6 +682,24 @@ class CgRXuIndex(GpuIndex):
         high_key = np.asarray(min(high, dtype_max), dtype=self._key_dtype)
         lo = int(np.searchsorted(sorted_keys, low_key, side="left"))
         hi = int(np.searchsorted(sorted_keys, high_key, side="right"))
+        return lo, hi
+
+    def _batch_ranges(
+        self, sorted_keys: np.ndarray, lowers: np.ndarray, uppers: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_batch_range` over every bucket at once."""
+        num_buckets = int(lowers.shape[0])
+        if sorted_keys.size == 0:
+            zeros = np.zeros(num_buckets, dtype=np.int64)
+            return zeros, zeros.copy()
+        dtype_max = np.uint64(np.iinfo(self._key_dtype).max)
+        valid = lowers <= dtype_max
+        low_keys = np.minimum(lowers, dtype_max).astype(self._key_dtype)
+        high_keys = np.minimum(uppers, dtype_max).astype(self._key_dtype)
+        lo = np.searchsorted(sorted_keys, low_keys, side="left").astype(np.int64)
+        hi = np.searchsorted(sorted_keys, high_keys, side="right").astype(np.int64)
+        lo[~valid] = 0
+        hi[~valid] = 0
         return lo, hi
 
     def _delete_one(self, bucket: int, key: int) -> Tuple[bool, int]:
@@ -440,20 +753,18 @@ class CgRXuIndex(GpuIndex):
         return visited
 
     def export_entries(self) -> Tuple[np.ndarray, np.ndarray]:
-        """All (key, rowID) entries in bucket/chain order (sorted by key)."""
-        keys: List[np.ndarray] = []
-        row_ids: List[np.ndarray] = []
-        for bucket in range(self.overflow_bucket + 1):
-            chain_keys, chain_rows = self.nodes.chain_entries(bucket)
-            if chain_keys.shape[0]:
-                keys.append(chain_keys)
-                row_ids.append(chain_rows)
-        if not keys:
-            return (
-                np.empty(0, dtype=self._key_dtype),
-                np.empty(0, dtype=np.uint32),
-            )
-        return np.concatenate(keys), np.concatenate(row_ids)
+        """All (key, rowID) entries in bucket/chain order (sorted by key).
+
+        One flattened gather over the chain tables — no per-node Python loop
+        or per-entry ``int()`` conversion.
+        """
+        order, _ = self._chain_table()
+        sizes = self.nodes.sizes_array[order]
+        occupied = np.arange(self.nodes.node_capacity)[None, :] < sizes[:, None]
+        return (
+            self.nodes.keys_matrix[order][occupied],
+            self.nodes.row_ids_matrix[order][occupied],
+        )
 
     # ------------------------------------------------------------ maintenance
 
@@ -465,11 +776,8 @@ class CgRXuIndex(GpuIndex):
         layer's maintenance worker watches these numbers to decide when a
         shard is worth rebuilding.
         """
-        chain_lengths = [
-            sum(1 for _ in self.nodes.chain(bucket))
-            for bucket in range(self.overflow_bucket + 1)
-        ]
-        lengths = np.asarray(chain_lengths, dtype=np.int64)
+        _, starts = self._chain_table()
+        lengths = np.diff(starts)
         return {
             "num_chains": int(lengths.shape[0]),
             "max_chain_nodes": int(lengths.max()),
@@ -498,7 +806,15 @@ class CgRXuIndex(GpuIndex):
     # ------------------------------------------------------------ conveniences
 
     def __len__(self) -> int:
-        """Current number of indexed entries (bulk load plus net updates)."""
+        """Current number of indexed entries (bulk load plus net updates).
+
+        O(1): maintained incrementally by the update path (validated against
+        :meth:`_count_entries` in the test suite).
+        """
+        return self._num_entries
+
+    def _count_entries(self) -> int:
+        """Reference entry count: re-walk every chain (tests only)."""
         total = 0
         for bucket in range(self.overflow_bucket + 1):
             for node in self.nodes.chain(bucket):

@@ -157,9 +157,56 @@ class RaytracingPipeline:
         self.lifetime_stats.merge(local)
         return records
 
-    def launch_closest(self, rays: Sequence[Ray]) -> LaunchResult:
-        """Fire a batch of rays (one simulated thread each) and collect closest hits."""
+    def cast_axis_closest_batch(
+        self,
+        axis: int,
+        origins: np.ndarray,
+        tmax: Optional[np.ndarray] = None,
+        stats: Optional[RayStats] = None,
+    ):
+        """Fire a batch of axis-aligned rays through the wavefront fast path.
+
+        Returns a :class:`~repro.rtx.wavefront.AxisClosestBatch`; counters and
+        hits are identical to calling :meth:`cast_axis_closest` per ray.
+        """
+        engine = self._require_engine()
+        local = RayStats()
+        result = engine.trace_axis_closest_batch(axis, origins, tmax, local)
+        if stats is not None:
+            stats.merge(local)
+        self.lifetime_stats.merge(local)
+        return result
+
+    def cast_axis_all_batch(
+        self,
+        axis: int,
+        origins: np.ndarray,
+        tmax: Optional[np.ndarray] = None,
+        stats: Optional[RayStats] = None,
+    ):
+        """Fire a batch of axis-aligned rays and collect every hit per ray."""
+        engine = self._require_engine()
+        local = RayStats()
+        result = engine.trace_axis_all_batch(axis, origins, tmax, local)
+        if stats is not None:
+            stats.merge(local)
+        self.lifetime_stats.merge(local)
+        return result
+
+    def launch_closest(self, rays: Sequence[Ray], engine: str = "scalar") -> LaunchResult:
+        """Fire a batch of rays (one simulated thread each) and collect closest hits.
+
+        ``engine="vector"`` routes the batch through the wavefront traversal;
+        hits and counters are identical either way.
+        """
         result = LaunchResult()
+        if engine == "vector":
+            traversal = self._require_engine()
+            local = RayStats()
+            result.hits = traversal.trace_closest_batch(rays, local)
+            result.stats.merge(local)
+            self.lifetime_stats.merge(local)
+            return result
         for ray in rays:
             record = self.cast_closest(ray, result.stats)
             result.hits.append(record)

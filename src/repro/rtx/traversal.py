@@ -111,10 +111,24 @@ class TraversalEngine:
         #: Aggregate statistics over all rays traced by this engine.
         self.stats = RayStats()
         self._fast_tables: Optional[tuple] = None
+        self._soa = None
 
     @property
     def bvh(self) -> Bvh:
         return self._bvh
+
+    def soa(self):
+        """Contiguous SoA views of the BVH, built once per engine.
+
+        Shared by the scalar slab tests (which previously promoted float32
+        node rows to doubles on every visit) and by the wavefront batch
+        kernels in :mod:`repro.rtx.wavefront`.
+        """
+        if self._soa is None:
+            from repro.rtx.wavefront import SoaBvh
+
+            self._soa = SoaBvh(self._bvh)
+        return self._soa
 
     def _prepare_ray(self, ray: Ray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         origin = ray.origin.astype(np.float64)
@@ -136,6 +150,7 @@ class TraversalEngine:
             self.stats.merge(stats)
             return record
 
+        soa = self.soa()
         origin, inv_dir, parallel = self._prepare_ray(ray)
         best_t = ray.tmax
         stack: List[int] = [0]
@@ -149,8 +164,8 @@ class TraversalEngine:
                 parallel,
                 ray.tmin,
                 best_t,
-                bvh.node_min[index],
-                bvh.node_max[index],
+                soa.node_min[index],
+                soa.node_max[index],
             ):
                 continue
             count = int(bvh.node_count[index])
@@ -203,6 +218,7 @@ class TraversalEngine:
             self.stats.merge(stats)
             return hits
 
+        soa = self.soa()
         origin, inv_dir, parallel = self._prepare_ray(ray)
         stack: List[int] = [0]
         while stack:
@@ -215,8 +231,8 @@ class TraversalEngine:
                 parallel,
                 ray.tmin,
                 ray.tmax,
-                bvh.node_min[index],
-                bvh.node_max[index],
+                soa.node_min[index],
+                soa.node_max[index],
             ):
                 continue
             count = int(bvh.node_count[index])
@@ -420,6 +436,76 @@ class TraversalEngine:
         """All hits of an axis-aligned ray travelling in the +``axis`` direction."""
         local = stats if stats is not None else RayStats()
         return self._trace_axis(axis, origin, tmax, collect_all=True, stats=local)
+
+    # ------------------------------------------------------- wavefront batches
+
+    def _trace_axis_batch(self, axis, origins, tmax, collect_all, stats):
+        """Shared wavefront entry: trace a whole axis-ray batch in lockstep."""
+        from repro.rtx import wavefront
+
+        origins = np.asarray(origins, dtype=np.float64)
+        if tmax is None:
+            tmax = np.full(origins.shape[0], np.inf, dtype=np.float64)
+        else:
+            tmax = np.asarray(tmax, dtype=np.float64)
+        delta = RayStats()
+        result = wavefront.trace_axis_batch(
+            self.soa(), axis, origins, tmax, self.AXIS_HIT_TOLERANCE, collect_all, delta
+        )
+        if stats is not None:
+            stats.merge(delta)
+        self.stats.merge(delta)
+        return result
+
+    def trace_axis_closest_batch(
+        self,
+        axis: int,
+        origins: np.ndarray,
+        tmax: Optional[np.ndarray] = None,
+        stats: Optional[RayStats] = None,
+    ):
+        """Closest hits of a batch of +``axis`` rays (wavefront lockstep).
+
+        Returns a :class:`~repro.rtx.wavefront.AxisClosestBatch`; hit records,
+        per-ray node visits and ``stats`` totals are identical to calling
+        :meth:`trace_axis_closest` per ray.
+        """
+        return self._trace_axis_batch(axis, origins, tmax, False, stats)
+
+    def trace_axis_all_batch(
+        self,
+        axis: int,
+        origins: np.ndarray,
+        tmax: Optional[np.ndarray] = None,
+        stats: Optional[RayStats] = None,
+    ):
+        """All hits of a batch of +``axis`` rays (wavefront lockstep).
+
+        Returns a :class:`~repro.rtx.wavefront.AxisAllBatch` with hits grouped
+        by ray and sorted by distance, matching :meth:`trace_axis_all`.
+        """
+        return self._trace_axis_batch(axis, origins, tmax, True, stats)
+
+    def trace_closest_batch(
+        self,
+        rays: Sequence[Ray],
+        stats: Optional[RayStats] = None,
+    ) -> List[HitRecord]:
+        """Closest hits of a batch of arbitrary rays via the wavefront path.
+
+        The slab tests run vectorized over the active ray front; results and
+        counters match :meth:`trace_closest` applied per ray.
+        """
+        from repro.rtx import wavefront
+
+        delta = RayStats()
+        records = wavefront.trace_closest_batch(
+            self.soa(), self._vertices, self._primitive_indices, rays, delta
+        )
+        if stats is not None:
+            stats.merge(delta)
+        self.stats.merge(delta)
+        return records
 
 
 #: For each ray axis, the two perpendicular axes checked by the fast path.

@@ -38,6 +38,30 @@ class Partitioner(ABC):
     def shards_for_range(self, low: int, high: int) -> np.ndarray:
         """Shard ids a range lookup ``[low, high]`` has to be scattered to."""
 
+    def shard_span_batch(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Inclusive ``(first, last)`` shard span per range query, vectorized.
+
+        Every partitioner scatters a range to a contiguous shard interval
+        (range partitioning by construction, hash partitioning to all
+        shards), so a batched scatter only needs the two boundary arrays.
+        The base implementation loops :meth:`shards_for_range`.
+        """
+        first = np.empty(lows.shape[0], dtype=np.int64)
+        last = np.empty(lows.shape[0], dtype=np.int64)
+        for position in range(lows.shape[0]):
+            shards = self.shards_for_range(int(lows[position]), int(highs[position]))
+            if shards.size:
+                first[position] = shards[0]
+                last[position] = shards[-1]
+            else:
+                # Touches no shards: an empty span (first > last) so the
+                # membership test excludes every shard, like the scalar path.
+                first[position] = 1
+                last[position] = 0
+        return first, last
+
     @property
     @abstractmethod
     def kind(self) -> str:
@@ -77,6 +101,17 @@ class RangePartitioner(Partitioner):
         last = int(np.searchsorted(self.boundaries, np.uint64(high), side="right"))
         return np.arange(first, last + 1, dtype=np.int64)
 
+    def shard_span_batch(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        first = np.searchsorted(
+            self.boundaries, np.asarray(lows).astype(np.uint64), side="right"
+        ).astype(np.int64)
+        last = np.searchsorted(
+            self.boundaries, np.asarray(highs).astype(np.uint64), side="right"
+        ).astype(np.int64)
+        return first, last
+
     def routing_compute_ops(self, num_keys: int) -> int:
         # One binary search over the boundary array per key.
         return int(num_keys) * max(1, int(np.ceil(np.log2(self.num_shards + 1))))
@@ -95,6 +130,15 @@ class HashPartitioner(Partitioner):
 
     def shards_for_range(self, low: int, high: int) -> np.ndarray:
         return np.arange(self.num_shards, dtype=np.int64)
+
+    def shard_span_batch(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        num = np.asarray(lows).shape[0]
+        return (
+            np.zeros(num, dtype=np.int64),
+            np.full(num, self.num_shards - 1, dtype=np.int64),
+        )
 
 
 def make_partitioner(kind: str, keys: np.ndarray, num_shards: int) -> Partitioner:

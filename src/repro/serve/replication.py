@@ -729,6 +729,7 @@ class ReplicatedShardRouter(ShardRouter):
         partitioner: str = "range",
         key_bits: int = 64,
         device: GpuDevice = RTX_4090,
+        engine: str = "vector",
         replication: Optional[ReplicationConfig] = None,
         clock: Optional[SimulatedClock] = None,
     ) -> None:
@@ -743,6 +744,7 @@ class ReplicatedShardRouter(ShardRouter):
             partitioner=partitioner,
             key_bits=key_bits,
             device=device,
+            engine=engine,
         )
 
     def _build_shard(self, shard) -> List[KernelStats]:

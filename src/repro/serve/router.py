@@ -27,6 +27,7 @@ from repro.baselines.base import (
     cancel_opposing_updates,
     delete_one_per_key,
 )
+from repro.core.config import validate_engine
 from repro.gpu.device import RTX_4090, GpuDevice
 from repro.gpu.kernels import KernelStats, combine
 from repro.serve.partition import Partitioner, make_partitioner
@@ -105,9 +106,13 @@ class ShardRouter:
         partitioner: str = "range",
         key_bits: int = 64,
         device: GpuDevice = RTX_4090,
+        engine: str = "vector",
     ) -> None:
         if key_bits not in (32, 64):
             raise ValueError("key_bits must be 32 or 64")
+        #: Scatter/gather execution engine (``"vector"`` scatters range
+        #: batches with one vectorized span computation; answers identical).
+        self.engine = validate_engine(engine)
         self.key_bits = key_bits
         self.key_bytes = key_bits // 8
         self._key_dtype = np.uint32 if key_bits == 32 else np.uint64
@@ -227,11 +232,20 @@ class ShardRouter:
         parts: List[KernelStats] = [self._routing_stats(num)]
         self.last_calls = []
 
-        # Scatter: shard -> positions of the queries that touch it.
-        per_shard: Dict[int, List[int]] = {}
-        for position in range(num):
-            for shard_id in self.partitioner.shards_for_range(int(lows[position]), int(highs[position])):
-                per_shard.setdefault(int(shard_id), []).append(position)
+        # Scatter: shard -> positions of the queries that touch it.  The
+        # vector engine computes every query's shard span in two vectorized
+        # searchsorted sweeps instead of a per-query Python loop.
+        per_shard: Dict[int, "List[int] | np.ndarray"] = {}
+        if self.engine == "vector" and num:
+            first, last = self.partitioner.shard_span_batch(lows, highs)
+            for shard_id in range(self.num_shards):
+                member = np.nonzero((first <= shard_id) & (shard_id <= last))[0]
+                if member.size:
+                    per_shard[shard_id] = member
+        else:
+            for position in range(num):
+                for shard_id in self.partitioner.shards_for_range(int(lows[position]), int(highs[position])):
+                    per_shard.setdefault(int(shard_id), []).append(position)
 
         collected: List[List[np.ndarray]] = [[] for _ in range(num)]
         for shard_id in sorted(per_shard):

@@ -73,6 +73,9 @@ class ServeConfig:
     write_quorum: Optional[int] = None
     #: Apply-log records retained per shard for replica catch-up.
     log_capacity: int = 64
+    #: Scatter/gather execution engine of the shard router: ``"vector"``
+    #: (batched span computation) or ``"scalar"``; answers are identical.
+    engine: str = "vector"
 
     def describe(self) -> str:
         cache = f"cache={self.cache_capacity}" if self.cache_capacity else "no-cache"
@@ -140,6 +143,7 @@ class ShardedIndex(GpuIndex):
                 partitioner=self.config.partitioner,
                 key_bits=self.config.key_bits,
                 device=device,
+                engine=self.config.engine,
                 replication=self.config.replication(),
                 clock=self.clock,
             )
@@ -152,6 +156,7 @@ class ShardedIndex(GpuIndex):
                 partitioner=self.config.partitioner,
                 key_bits=self.config.key_bits,
                 device=device,
+                engine=self.config.engine,
             )
         #: Failure-schedule replayer (armed by :meth:`inject_failures`).
         self.failures: Optional[FailureInjector] = None

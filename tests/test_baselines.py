@@ -17,6 +17,7 @@ from repro.baselines.base import GpuIndex, UnsupportedOperation
 from repro.bench.harness import (
     btree_factory,
     cgrx_factory,
+    cgrxu_factory,
     fullscan_factory,
     hash_table_factory,
     rtscan_factory,
@@ -35,12 +36,24 @@ CONTRACT_FACTORIES = {
     "btree": btree_factory(),
     "hash_table": hash_table_factory(),
     "rtscan": rtscan_factory(),
-    "rx": rx_factory(),
+    # Engine-parametrized index types: the same contract must hold for the
+    # vector (default) and the scalar reference execution engine.
+    "rx[vector]": rx_factory(),
+    "rx[scalar]": rx_factory(engine="scalar"),
+    "cgrxu[vector]": cgrxu_factory(128),
+    "cgrxu[scalar]": cgrxu_factory(128, engine="scalar"),
     "sharded_range_sa": sharded_factory(
         inner=sorted_array_factory(), num_shards=4, partitioner="range", cache_capacity=128
     ),
-    "sharded_hash_cgrx": sharded_factory(
+    "sharded_hash_cgrx[vector]": sharded_factory(
         inner=cgrx_factory(32), num_shards=3, partitioner="hash", cache_capacity=0
+    ),
+    "sharded_hash_cgrx[scalar]": sharded_factory(
+        inner=cgrx_factory(32, engine="scalar"),
+        num_shards=3,
+        partitioner="hash",
+        cache_capacity=0,
+        engine="scalar",
     ),
 }
 

@@ -55,11 +55,14 @@ FACTORIES = {
     "SA": sorted_array_factory,
     "B+": btree_factory,
     "HT": hash_table_factory,
-    "RX": rx_factory,
+    "RX": rx_factory,  # vector engine (default)
+    "RX[scalar]": lambda: rx_factory(engine="scalar"),
     "RTScan": rtscan_factory,
     "FullScan": fullscan_factory,
-    "cgRX": lambda: cgrx_factory(32),
-    "cgRXu": lambda: cgrxu_factory(128),
+    "cgRX": lambda: cgrx_factory(32),  # vector engine (default)
+    "cgRX[scalar]": lambda: cgrx_factory(32, engine="scalar"),
+    "cgRXu": lambda: cgrxu_factory(128),  # vector engine (default)
+    "cgRXu[scalar]": lambda: cgrxu_factory(128, engine="scalar"),
 }
 
 CONFIGS = list(FACTORIES) + ["sharded", "replicated"]
