@@ -1097,6 +1097,197 @@ def availability(
 
 
 # --------------------------------------------------------------------------
+# Lifecycle: maintenance tiers under a sustained update+lookup stream
+# --------------------------------------------------------------------------
+
+
+def lifecycle(
+    num_keys: int = 1 << 12,
+    num_requests: int = 1 << 10,
+    num_shards: int = 4,
+    num_waves: int = 4,
+    wave_size: Optional[int] = None,
+    delete_fraction: float = 0.25,
+    requests_per_ms: float = 32.0,
+    zipf_coefficient: float = 1.0,
+    max_batch_size: int = 64,
+    max_wait_ms: float = 0.5,
+    quick: bool = False,
+    seed: int = 61,
+) -> ExperimentResult:
+    """Lifecycle experiment: the tiered index-maintenance policy under load.
+
+    A cgRXu deployment serves ``num_waves`` alternating lookup-stream /
+    update-wave rounds (inserts grow the node chains, whole-duplicate-group
+    deletes shrink bucket maxima so compaction re-anchors representatives)
+    under one maintenance policy per row group:
+
+    * ``none`` — maintenance disabled: chain debt accumulates unchecked,
+    * ``compact`` — incremental per-bucket compaction only (tier 1),
+    * ``rebuild_stop_world`` — full rebuilds that take the shard offline
+      (the pre-lifecycle behaviour): *nonzero* unavailability windows,
+    * ``rebuild_double_buffered`` — full rebuilds built in the background
+      and swapped atomically: *zero* unavailability windows at the price of
+      both generations briefly resident (``rebuild_peak_mib``), and
+    * ``tiered`` — the production default: compact early, escalate to
+      double-buffered rebuilds late.
+
+    Every row is oracle-checked: the per-request answers of each served
+    stream chunk must be byte-identical to an untouched sorted-array
+    reference built from the authoritative entries — maintenance must never
+    change an answer, only its cost.
+    """
+    from repro.baselines.sorted_array import SortedArrayIndex
+    from repro.bench.harness import cgrxu_factory
+    from repro.serve.router import apply_update_to_entries
+    from repro.serve.sharded import ServeConfig, ShardedIndex
+    from repro.workloads.requests import RequestStream, zipf_request_stream
+
+    if quick:
+        num_keys = min(num_keys, 1 << 11)
+        num_requests = min(num_requests, 1 << 9)
+        num_waves = min(num_waves, 3)
+
+    wave_size = int(wave_size) if wave_size is not None else max(1, (3 * num_keys) // 4)
+    never = float("inf")
+    policies = (
+        ("none", dict(compact_threshold=never, rebuild_threshold=never)),
+        ("compact", dict(compact_threshold=0.15, rebuild_threshold=never)),
+        (
+            "rebuild_stop_world",
+            dict(
+                compact_threshold=0.3,
+                rebuild_threshold=0.3,
+                rebuild_mode="stop_the_world",
+            ),
+        ),
+        (
+            "rebuild_double_buffered",
+            dict(
+                compact_threshold=0.3,
+                rebuild_threshold=0.3,
+                rebuild_mode="double_buffered",
+            ),
+        ),
+        ("tiered", dict(compact_threshold=0.15, rebuild_threshold=0.6)),
+    )
+
+    result = ExperimentResult(
+        name="lifecycle",
+        description="Maintenance tiers: compaction vs refit vs (double-buffered) rebuild",
+        parameters={
+            "num_keys": num_keys,
+            "num_requests": num_requests,
+            "num_shards": num_shards,
+            "num_waves": num_waves,
+            "wave_size": wave_size,
+            "policies": [name for name, _ in policies],
+            "quick": quick,
+        },
+    )
+    keyset = generate_keys(num_keys, uniformity=0.5, key_bits=32, seed=seed)
+
+    for policy_name, knobs in policies:
+        config = ServeConfig(
+            num_shards=num_shards,
+            partitioner="range",
+            key_bits=32,
+            cache_capacity=0,  # every request exercises a shard (oracle 1:1)
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            **knobs,
+        )
+        served = ShardedIndex(
+            keyset.keys, keyset.row_ids, factory=cgrxu_factory(128), config=config
+        )
+        oracle_keys = np.sort(keyset.keys).astype(np.uint32)
+        oracle_rows = keyset.row_ids[np.argsort(keyset.keys, kind="stable")].copy()
+        rng = np.random.default_rng(seed + 1)  # same workload for every policy
+        next_row = int(keyset.row_ids.max()) + 1
+
+        for wave in range(1, num_waves + 1):
+            # Serve a lookup chunk over the *live* key population, offset to
+            # the deployment's current simulated time.
+            population = KeySet(
+                keys=oracle_keys, row_ids=oracle_rows, key_bits=32, description="live"
+            )
+            chunk = zipf_request_stream(
+                population,
+                num_requests,
+                zipf_coefficient=zipf_coefficient,
+                requests_per_ms=requests_per_ms,
+                miss_fraction=0.0,
+                seed=seed + 16 * wave,
+            )
+            chunk = RequestStream(
+                arrival_ms=chunk.arrival_ms + served.clock.now_ms,
+                keys=chunk.keys,
+                client_ids=chunk.client_ids,
+                description=chunk.description,
+            )
+            served.serve_stream(chunk, record_answers=True)
+            reference = SortedArrayIndex(oracle_keys, oracle_rows, key_bits=32)
+            expected = reference.point_lookup_batch(chunk.keys)
+            answers, counts = served.last_answers
+            oracle_identical = bool(
+                answers.tobytes() == expected.row_ids.tobytes()
+                and counts.tobytes() == expected.match_counts.tobytes()
+            )
+
+            # Update wave: inserts grow chains; whole-duplicate-group deletes
+            # shrink bucket maxima (what representative re-anchoring heals).
+            insert_keys = rng.integers(
+                0, (1 << 32) - 1, size=wave_size, dtype=np.uint64
+            ).astype(np.uint32)
+            insert_rows = np.arange(next_row, next_row + wave_size, dtype=np.uint32)
+            next_row += wave_size
+            distinct, group_sizes = np.unique(oracle_keys, return_counts=True)
+            victims = rng.choice(
+                distinct.shape[0],
+                size=min(distinct.shape[0], max(1, int(wave_size * delete_fraction))),
+                replace=False,
+            )
+            victims = victims[~np.isin(distinct[victims], insert_keys)]
+            delete_keys = np.repeat(distinct[victims], group_sizes[victims]).astype(
+                np.uint32
+            )
+            served.update_batch(
+                insert_keys=insert_keys,
+                insert_row_ids=insert_rows,
+                delete_keys=delete_keys,
+            )
+            oracle_keys, oracle_rows, _ = apply_update_to_entries(
+                oracle_keys, oracle_rows, insert_keys, insert_rows, delete_keys
+            )
+
+            metrics = served.metrics.snapshot()
+            maintenance = served.maintenance.snapshot()
+            row = dict(
+                policy=policy_name,
+                wave=wave,
+                requests=metrics["requests"],
+                latency_p50_ms=metrics["latency_p50_ms"],
+                latency_p99_ms=metrics["latency_p99_ms"],
+                latency_p99_during_maintenance_ms=metrics.get(
+                    "latency_p99_during_maintenance_ms", 0.0
+                ),
+                degradation=served.degradation_score(),
+                compactions=maintenance["compactions_performed"],
+                rebuilds=maintenance["rebuilds_performed"],
+                maintenance_ms_compact=maintenance.get("maintenance_ms_compact", 0.0),
+                maintenance_ms_rebuild=maintenance.get("maintenance_ms_rebuild", 0.0),
+                unavailability_windows=len(served.metrics.unavailability_windows),
+                unavailable_ms=metrics.get("unavailable_ms", 0.0),
+                availability=metrics.get("availability", 1.0),
+                rebuild_peak_mib=maintenance["rebuild_peak_bytes"] / float(1 << 20),
+                footprint_mib=served.memory_footprint().total_bytes / float(1 << 20),
+                oracle_identical=oracle_identical,
+            )
+            result.add(**row)
+    return result
+
+
+# --------------------------------------------------------------------------
 # Hotpath: wall-clock scalar vs vector (the perf trajectory)
 # --------------------------------------------------------------------------
 
@@ -1262,6 +1453,7 @@ ALL_EXPERIMENTS = {
     "serving": serving_deployment,
     "availability": availability,
     "hotpath": hotpath,
+    "lifecycle": lifecycle,
 }
 
 
@@ -1271,7 +1463,7 @@ def run_all(
     """Run all (or the selected) experiments and return their results.
 
     ``quick=True`` is forwarded to every experiment that supports a ``quick``
-    parameter (currently ``hotpath``); the others ignore it.
+    parameter (currently ``hotpath`` and ``lifecycle``); the others ignore it.
     """
     import inspect
 

@@ -208,6 +208,9 @@ def sharded_factory(
     read_policy: str = "round_robin",
     write_quorum: Optional[int] = None,
     engine: str = "vector",
+    rebuild_threshold: float = 0.5,
+    compact_threshold: float = 0.2,
+    rebuild_mode: str = "double_buffered",
     **config_kwargs: object,
 ) -> IndexFactory:
     """Factory for a served :class:`~repro.serve.sharded.ShardedIndex` deployment.
@@ -219,7 +222,10 @@ def sharded_factory(
     load-balanced reads and quorum-acknowledged writes.  ``engine`` selects
     the router's scatter/gather engine; pass ``engine=...`` to the *inner*
     factory (e.g. ``cgrxu_factory(128, engine="scalar")``) to select the
-    per-shard index engine.
+    per-shard index engine.  ``rebuild_threshold``/``compact_threshold``/
+    ``rebuild_mode`` configure the tiered maintenance lifecycle (incremental
+    compaction below the rebuild threshold, double-buffered or
+    stop-the-world rebuild swaps above it).
     """
 
     def build(keyset: KeySet, device: GpuDevice = RTX_4090) -> GpuIndex:
@@ -234,6 +240,9 @@ def sharded_factory(
             read_policy=read_policy,
             write_quorum=write_quorum,
             engine=engine,
+            rebuild_threshold=rebuild_threshold,
+            compact_threshold=compact_threshold,
+            rebuild_mode=rebuild_mode,
             **config_kwargs,
         )
         return ShardedIndex(

@@ -117,6 +117,11 @@ class CgRXuConfig:
     bvh_leaf_size: int = 4
     #: Batch execution engine: ``"vector"`` (SoA/wavefront) or ``"scalar"``.
     engine: str = "vector"
+    #: Escalate a post-compaction BVH refit into a full rebuild once the
+    #: total node overlap area grew past this multiple of the freshly built
+    #: tree's (the Figure-1c degradation signal, applied to cgRXu's own
+    #: representative scene).
+    refit_escalation_ratio: float = 4.0
 
     def __post_init__(self) -> None:
         if self.node_bytes < 32:
@@ -125,6 +130,8 @@ class CgRXuConfig:
             raise ValueError("initial_fill must be in (0, 1]")
         if self.key_bits not in (32, 64):
             raise ValueError("key_bits must be 32 or 64")
+        if self.refit_escalation_ratio < 1.0:
+            raise ValueError("refit_escalation_ratio must be >= 1.0")
         if isinstance(self.representation, str):
             self.representation = Representation(self.representation)
         validate_engine(self.engine)

@@ -67,8 +67,11 @@ class NodeStorage:
         self._sizes = np.zeros(total, dtype=np.int32)
         self._max_keys = np.zeros(total, dtype=np.uint64)
         self._next = np.full(total, NO_NEXT, dtype=np.int64)
-        #: Number of linked-region nodes handed out so far.
+        #: Number of linked-region nodes handed out so far (high-water mark).
         self._linked_used = 0
+        #: Linked-region nodes released by chain compaction, available for
+        #: reuse before the bump allocator hands out fresh slots.
+        self._free_nodes: List[int] = []
 
     # ------------------------------------------------------------- allocation
 
@@ -79,21 +82,34 @@ class NodeStorage:
 
     @property
     def linked_nodes_used(self) -> int:
-        """Linked-region nodes handed out by :meth:`allocate_linked_node`."""
-        return self._linked_used
+        """Linked-region nodes currently *live* (allocated and not released)."""
+        return self._linked_used - len(self._free_nodes)
 
     @property
     def total_nodes(self) -> int:
-        """Representative nodes plus allocated linked nodes."""
-        return self.num_representative_nodes + self._linked_used
+        """Representative nodes plus live linked nodes."""
+        return self.num_representative_nodes + self.linked_nodes_used
 
     def allocate_linked_node(self) -> int:
-        """Hand out a fresh node from the linked region (growing the slab if needed)."""
+        """Hand out a node from the linked region, preferring released ones."""
+        if self._free_nodes:
+            return self._free_nodes.pop()
         if self._linked_used >= self.linked_region_capacity:
             self._grow_linked_region()
         index = self.num_representative_nodes + self._linked_used
         self._linked_used += 1
         return index
+
+    def release_linked_node(self, index: int) -> None:
+        """Return a linked-region node to the allocator (compaction reclaim)."""
+        if index < self.num_representative_nodes:
+            raise ValueError("representative nodes cannot be released")
+        self._keys[index] = 0
+        self._row_ids[index] = 0
+        self._sizes[index] = 0
+        self._max_keys[index] = 0
+        self._next[index] = NO_NEXT
+        self._free_nodes.append(index)
 
     def _grow_linked_region(self) -> None:
         """Double the linked region (the paper enlarges the slab when exhausted)."""
@@ -210,6 +226,39 @@ class NodeStorage:
         self._next[new_index] = self._next[index]
         self._next[index] = new_index
         return new_index
+
+    def compact_chain(
+        self,
+        head: int,
+        max_key: int,
+        entries: "Tuple[np.ndarray, np.ndarray] | None" = None,
+    ) -> Tuple[int, int]:
+        """Fold ``head``'s chain into the fewest nodes that hold its entries.
+
+        Entries are re-packed head-first: every node but the chain's final
+        one is filled to capacity and surplus linked nodes are released back
+        to the allocator.  The final node's ``maxKey`` becomes ``max_key``
+        (the bucket's routing upper bound) while interior nodes carry their
+        own largest key — the same invariant node splits maintain.  A caller
+        that already gathered the chain's ``(keys, row_ids)`` passes them as
+        ``entries`` to skip the second walk.  Returns ``(nodes_before,
+        nodes_after)``.
+        """
+        chain = list(self.chain(head))
+        keys, row_ids = entries if entries is not None else self.chain_entries(head)
+        count = int(keys.shape[0])
+        nodes_after = max(1, -(-count // self.node_capacity))
+        kept = chain[:nodes_after]
+        for position, node in enumerate(kept):
+            low = position * self.node_capacity
+            high = min(count, low + self.node_capacity)
+            node_max = max_key if position == nodes_after - 1 else int(keys[high - 1])
+            self.fill_node(node, keys[low:high], row_ids[low:high], node_max)
+        for position in range(nodes_after - 1):
+            self._next[kept[position]] = kept[position + 1]
+        for node in chain[nodes_after:]:
+            self.release_linked_node(node)
+        return len(chain), nodes_after
 
     # ------------------------------------------------------------- traversal
 

@@ -81,6 +81,49 @@ class SceneRepresentation(ABC):
                 stats.merge(local)
         return bucket_ids, nodes
 
+    # ------------------------------------------------------------ maintenance
+
+    def reanchor_representative(self, bucket_id: int, old_key: int, new_key: int) -> bool:
+        """Move bucket ``bucket_id``'s representative triangle from ``old_key``
+        to ``new_key``'s grid position, when that is provably safe.
+
+        Compaction tightens a bucket whose largest entries were deleted by
+        re-anchoring its representative to the bucket's current maximum key.
+        The move is only legal when it cannot disturb the marker structure of
+        either scene representation:
+
+        * both keys map to the same (y, z) row — rays discover rows through
+          markers/terminators whose placement depends on row membership;
+        * the slot holds the *unmoved*, unflipped representative exactly at
+          ``old_key``'s grid position (moved/auxiliary terminators at
+          ``x = xmax`` and flipped representatives encode row-termination
+          state and must stay put).
+
+        Returns ``True`` when the triangle was rewritten; the caller is then
+        responsible for refitting the acceleration structure.
+        """
+        mapping = self.mapping
+        buffer = self.pipeline.vertex_buffer
+        old_key = int(old_key)
+        new_key = int(new_key)
+        if not 0 <= bucket_id < self.num_buckets:
+            return False
+        if int(mapping.yz_of(old_key)) != int(mapping.yz_of(new_key)):
+            return False
+        old_x = int(mapping.x_of(old_key))
+        new_x = int(mapping.x_of(new_key))
+        if new_x == old_x:
+            return False
+        if not buffer.slot_occupied(bucket_id) or buffer.slot_flipped(bucket_id):
+            return False
+        scene_y = float(mapping.y_of(old_key)) * mapping.y_scale
+        scene_z = float(mapping.z_of(old_key)) * mapping.z_scale
+        centre = buffer.centres[bucket_id]
+        if tuple(centre) != (float(old_x), scene_y, scene_z):
+            return False
+        buffer.write_key_triangle(bucket_id, float(new_x), scene_y, scene_z)
+        return True
+
     # ------------------------------------------------------------- shared API
 
     @property

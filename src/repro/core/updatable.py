@@ -8,7 +8,8 @@ never refit and lookup performance does not deteriorate the way RX's does.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,10 +36,34 @@ from repro.gpu.simt import divergence_factor
 from repro.gpu.sort import device_radix_sort
 from repro.rtx.bvh import BvhBuildConfig
 from repro.rtx.pipeline import RaytracingPipeline
+from repro.rtx.refit import overlap_ratio, total_overlap_area
 from repro.rtx.traversal import RayStats
 
 #: Number of per-lookup / per-bucket work samples used for divergence estimates.
 _DIVERGENCE_SAMPLE = 4096
+
+
+@dataclass(frozen=True)
+class IndexSnapshot:
+    """A consistent, epoch-tagged copy of an index's entries.
+
+    Taken off the serving path by :meth:`CgRXuIndex.snapshot` so a
+    replacement index can be built in the background
+    (:meth:`CgRXuIndex.build_from_snapshot`) while the live one keeps
+    serving; the double-buffered shard rebuild in ``repro.serve`` swaps the
+    replacement in atomically once it is ready.
+    """
+
+    keys: np.ndarray
+    row_ids: np.ndarray
+    config: CgRXuConfig
+    #: Epoch of the source index at snapshot time; the index built from this
+    #: snapshot starts at ``epoch + 1``.
+    epoch: int
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.keys.shape[0])
 
 
 class CgRXuIndex(GpuIndex):
@@ -128,6 +153,25 @@ class CgRXuIndex(GpuIndex):
         self._num_entries = len(self.bucketed)
         #: Cached flattened chain tables, invalidated by updates.
         self._chain_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+        #: Storage-lifecycle version: bumped by every compaction pass and by
+        #: building from a snapshot, so the serving layer can tell rebuilt
+        #: state apart from the state a snapshot was taken of.
+        self.epoch = 0
+        #: Lifecycle event counters (compaction passes, refits, escalations).
+        self.lifecycle: Dict[str, int] = {
+            "compaction_passes": 0,
+            "buckets_compacted": 0,
+            "nodes_reclaimed": 0,
+            "reanchored_representatives": 0,
+            "bvh_refits": 0,
+            "bvh_rebuilds": 0,
+        }
+        #: Overlap area of the freshly built BVH — the refit quality baseline.
+        self._built_overlap_area = total_overlap_area(self.pipeline.bvh)
+        #: Memoised overlap ratio keyed by (build, refit) generation, so the
+        #: maintenance scan's per-cycle quality probe is O(1) between refits.
+        self._overlap_ratio_cache: Optional[Tuple[tuple, float]] = None
 
         num_triangles = self.representation.triangle_count()
         bvh_bytes = self.pipeline.bvh.memory_footprint_bytes()
@@ -768,6 +812,184 @@ class CgRXuIndex(GpuIndex):
 
     # ------------------------------------------------------------ maintenance
 
+    def compact_buckets(self, bucket_ids: Sequence[int]) -> KernelStats:
+        """Fold the chains of ``bucket_ids`` back into minimal node chains.
+
+        Per-bucket incremental maintenance, the middle tier of the index
+        lifecycle: each selected bucket's chain is re-packed into the fewest
+        nodes that hold its entries (one node when they fit, exactly as after
+        a fresh bulk load) and the surplus linked nodes return to the slab
+        allocator, healing the chain debt updates accumulated without
+        touching any other bucket.  Where deletes shrank a bucket's largest
+        key, its representative triangle is additionally *re-anchored* to
+        the current maximum (when provably safe, see
+        :meth:`~repro.core.representation.SceneRepresentation.reanchor_representative`)
+        and the BVH is **refit** against the moved geometry rather than
+        rebuilt — unless the accumulated overlap area escalates past
+        ``config.refit_escalation_ratio``, in which case the tree is rebuilt
+        and the quality baseline reset.
+
+        Lookup answers are unchanged by construction (both engines walk the
+        same, now shorter, chains); only the lookup *cost* drops.  The
+        cached chain tables are patched per bucket instead of being
+        invalidated globally.
+        """
+        bucket_ids = np.unique(np.asarray(bucket_ids, dtype=np.int64))
+        if bucket_ids.size and (
+            int(bucket_ids[0]) < 0 or int(bucket_ids[-1]) > self.overflow_bucket
+        ):
+            raise ValueError("bucket ids out of range")
+        stats = KernelStats(
+            name="cgrxu.compact", threads=int(bucket_ids.size), launches=1
+        )
+        uppers = self._bucket_uppers
+        reanchored = 0
+        per_bucket_work: List[int] = []
+        for bucket in bucket_ids:
+            bucket = int(bucket)
+            chain_keys, chain_rows = self.nodes.chain_entries(bucket)
+            upper = int(uppers[bucket])
+            new_upper = upper
+            if (
+                bucket < self.overflow_bucket
+                and chain_keys.size
+                and int(chain_keys[-1]) < upper
+                # A following bucket sharing this routing bound must keep
+                # resolving through this representative: never re-anchor it.
+                and int(uppers[bucket + 1]) != upper
+                and self.representation.reanchor_representative(
+                    bucket, upper, int(chain_keys[-1])
+                )
+            ):
+                new_upper = int(chain_keys[-1])
+                uppers[bucket] = np.uint64(new_upper)
+                reanchored += 1
+            before, after = self.nodes.compact_chain(
+                bucket, new_upper, entries=(chain_keys, chain_rows)
+            )
+            self.lifecycle["nodes_reclaimed"] += before - after
+            stats.bytes_read += before * self.config.node_bytes
+            stats.bytes_written += after * self.config.node_bytes
+            stats.compute_ops += int(chain_keys.shape[0])
+            per_bucket_work.append(before)
+        stats.divergence = divergence_factor(per_bucket_work)
+
+        if reanchored:
+            # Geometry moved: refit the existing BVH (the cheap OptiX update
+            # build) and escalate to a full rebuild only when the overlap
+            # quality signal says refitting has degraded the tree too far.
+            self.pipeline.update_acceleration_structure()
+            self.lifecycle["bvh_refits"] += 1
+            self.lifecycle["reanchored_representatives"] += reanchored
+            stats.bytes_read += self.num_triangles * RT_TRIANGLE_RESIDUAL_BYTES
+            stats.bytes_written += self.pipeline.bvh.num_nodes * RT_NODE_RESIDUAL_BYTES
+            if self.bvh_overlap_ratio() > self.config.refit_escalation_ratio:
+                self.pipeline.build_acceleration_structure()
+                self._built_overlap_area = total_overlap_area(self.pipeline.bvh)
+                self.lifecycle["bvh_rebuilds"] += 1
+
+        self._patch_chain_cache(bucket_ids)
+        self.lifecycle["compaction_passes"] += 1
+        self.lifecycle["buckets_compacted"] += int(bucket_ids.size)
+        self.epoch += 1
+        return stats
+
+    def _patch_chain_cache(self, bucket_ids: np.ndarray) -> None:
+        """Splice the compacted buckets' new chains into the cached tables.
+
+        Only the touched buckets' chains are re-walked; every other chain's
+        segment is copied wholesale from the existing ``(order, starts)``
+        tables, so compaction re-chases the pointers of the buckets it
+        touched rather than of every chain in the index.
+        """
+        if self._chain_cache is None:
+            return
+        order, starts = self._chain_cache
+        num_chains = int(starts.shape[0]) - 1
+        lengths = np.diff(starts)
+        touched = np.zeros(num_chains, dtype=bool)
+        segments: Dict[int, np.ndarray] = {}
+        for bucket in bucket_ids:
+            bucket = int(bucket)
+            segment = np.fromiter(self.nodes.chain(bucket), dtype=np.int64)
+            segments[bucket] = segment
+            touched[bucket] = True
+            lengths[bucket] = segment.shape[0]
+        new_starts = np.zeros(num_chains + 1, dtype=np.int64)
+        np.cumsum(lengths, out=new_starts[1:])
+        new_order = np.empty(int(new_starts[-1]), dtype=np.int64)
+        untouched = np.nonzero(~touched)[0]
+        if untouched.size:
+            kept = lengths[untouched]
+            total = int(kept.sum())
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                np.concatenate([[0], np.cumsum(kept)[:-1]]), kept
+            )
+            new_order[np.repeat(new_starts[untouched], kept) + offsets] = order[
+                np.repeat(starts[untouched], kept) + offsets
+            ]
+        for bucket, segment in segments.items():
+            new_order[new_starts[bucket] : new_starts[bucket] + segment.shape[0]] = segment
+        self._chain_cache = (new_order, new_starts)
+
+    def bucket_chain_lengths(self) -> np.ndarray:
+        """Chain length in nodes per bucket (overflow bucket last).
+
+        The serving layer's compaction tier sorts on this to pick the
+        hottest-chained buckets first.
+        """
+        _, starts = self._chain_table()
+        return np.diff(starts)
+
+    def bvh_overlap_ratio(self) -> float:
+        """Overlap-area growth of the (possibly refit) BVH vs its fresh build.
+
+        Memoised per (build, refit) generation: the area only moves when the
+        acceleration structure does, while the maintenance scan probes this
+        on every cycle.
+        """
+        key = (
+            self.pipeline.build_count,
+            self.pipeline.refit_count,
+            self._built_overlap_area,
+        )
+        if self._overlap_ratio_cache is not None and self._overlap_ratio_cache[0] == key:
+            return self._overlap_ratio_cache[1]
+        value = overlap_ratio(self.pipeline.bvh, self._built_overlap_area)
+        self._overlap_ratio_cache = (key, value)
+        return value
+
+    def snapshot(self) -> IndexSnapshot:
+        """A consistent, epoch-tagged copy of the current entries.
+
+        Taken off the request path; the live index keeps serving while a
+        replacement is built from the snapshot in the background.
+        """
+        keys, row_ids = self.export_entries()
+        return IndexSnapshot(
+            keys=keys,
+            row_ids=row_ids,
+            config=replace(self.config),
+            epoch=self.epoch,
+        )
+
+    @classmethod
+    def build_from_snapshot(
+        cls, snapshot: IndexSnapshot, device: GpuDevice = RTX_4090
+    ) -> "CgRXuIndex":
+        """Build a fresh (chain-free) index off-path from a snapshot.
+
+        The replacement answers every lookup exactly like the snapshotted
+        index (entries and duplicate tie-order are preserved by
+        ``export_entries``) and starts one epoch later, which is how the
+        double-buffered shard swap distinguishes the generations.
+        """
+        replacement = cls(
+            snapshot.keys, snapshot.row_ids, config=snapshot.config, device=device
+        )
+        replacement.epoch = snapshot.epoch + 1
+        return replacement
+
     def chain_statistics(self) -> dict:
         """Node-chain health of the bucket lists.
 
@@ -776,8 +998,7 @@ class CgRXuIndex(GpuIndex):
         layer's maintenance worker watches these numbers to decide when a
         shard is worth rebuilding.
         """
-        _, starts = self._chain_table()
-        lengths = np.diff(starts)
+        lengths = self.bucket_chain_lengths()
         return {
             "num_chains": int(lengths.shape[0]),
             "max_chain_nodes": int(lengths.max()),

@@ -75,3 +75,16 @@ def total_overlap_area(bvh: Bvh) -> float:
     dy = extent[:, 1]
     dz = extent[:, 2]
     return float(np.sum(2.0 * (dx * dy + dy * dz + dz * dx)))
+
+
+def overlap_ratio(bvh: Bvh, baseline_area: float) -> float:
+    """Growth of :func:`total_overlap_area` relative to a freshly built tree.
+
+    The index lifecycle uses this as the refit quality signal: refits are
+    cheap, but every refit after geometry moved inflates the bounding
+    volumes a little; once the ratio crosses a configured threshold the
+    maintenance tier escalates from refit to a full rebuild.
+    """
+    if baseline_area <= 0.0:
+        return 1.0
+    return total_overlap_area(bvh) / baseline_area

@@ -178,6 +178,14 @@ class VertexBuffer:
         self._occupied[slots] = True
         self._flipped[slots] = flipped
 
+    def slot_occupied(self, primitive_index: int) -> bool:
+        """Whether slot ``primitive_index`` holds a real triangle."""
+        return primitive_index < self.capacity and bool(self._occupied[primitive_index])
+
+    def slot_flipped(self, primitive_index: int) -> bool:
+        """Whether slot ``primitive_index`` holds a winding-inverted triangle."""
+        return primitive_index < self.capacity and bool(self._flipped[primitive_index])
+
     def clear_slot(self, primitive_index: int) -> None:
         """Remove the triangle at ``primitive_index`` (the slot becomes degenerate)."""
         if primitive_index < self.capacity:

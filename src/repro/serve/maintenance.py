@@ -1,19 +1,32 @@
-"""Background shard maintenance: queueable tasks with idempotent completion.
+"""Background shard maintenance: tiered, queueable tasks with idempotent completion.
 
 Long-running deployments of the updatable index degrade: every insert wave
 grows cgRXu's node chains, and once buckets are several nodes deep each
 lookup pays the extra chain hops (Section IV of the paper keeps lookups fast
 precisely because the BVH is never refit — the chains are where the debt
-accumulates).  The maintenance worker periodically scans the shards, queues a
-rebuild task for every shard whose degradation score crossed the threshold,
-and executes the queue *off the request path*: maintenance device time is
-accounted separately from foreground lookup time.
+accumulates).  The maintenance worker periodically scans the shards and
+heals the debt through an **escalating tier policy**, always off the request
+path:
 
-The task model follows the taskqueue idiom: tasks are plain functions marked
-``@queueable``, every task re-checks its precondition when it runs (a shard
-healed by an earlier task completes as a no-op, so duplicate enqueues are
-harmless), and failures are captured on the task record instead of being
-raised into the serving loop.
+1. **compact** — fold the hottest-chained buckets of a mildly degraded
+   shard back into minimal chains (``CgRXuIndex.compact_buckets``); where
+   compaction moved representative geometry the index *refits* its BVH
+   rather than rebuilding it,
+2. **refit escalation** — a shard whose accumulated refits degraded the
+   BVH's overlap quality past the configured ratio is promoted straight to
+   a rebuild, and
+3. **rebuild** — a heavily degraded shard is rebuilt from scratch; by
+   default **double-buffered** (the replacement is built in the background
+   and swapped in atomically, zero unavailability), optionally
+   ``stop_the_world`` (the pre-lifecycle behaviour, whose offline window is
+   recorded against availability).
+
+Maintenance device time is accounted per tier, separately from foreground
+lookup time.  The task model follows the taskqueue idiom: tasks are plain
+functions marked ``@queueable``, every task re-checks its precondition when
+it runs (a shard healed by an earlier task completes as a no-op, so
+duplicate enqueues are harmless), and failures are captured on the task
+record instead of being raised into the serving loop.
 """
 
 from __future__ import annotations
@@ -59,11 +72,31 @@ class MaintenancePolicy:
     #: score of cgRXu is the mean number of *extra* chain nodes per bucket, so
     #: 0.5 means "half the buckets grew a second node on average".
     rebuild_threshold: float = 0.5
+    #: Compact a shard's hottest-chained buckets once its degradation
+    #: reaches this value (the cheap first tier; set it at or above
+    #: ``rebuild_threshold`` to disable incremental compaction).
+    compact_threshold: float = 0.2
+    #: Hottest-chained buckets folded per compaction task.
+    compact_max_buckets: int = 64
+    #: How full rebuilds swap in: ``"double_buffered"`` (background build
+    #: plus atomic swap — zero unavailability, both generations briefly
+    #: resident) or ``"stop_the_world"`` (shard offline during the build;
+    #: the outage window is recorded on the metrics registry).
+    rebuild_mode: str = "double_buffered"
     #: Trim the result cache once this fraction of its entries is negative
     #: (negative entries crowd out the positive hits the cache exists for).
     negative_trim_fraction: float = 0.5
     #: Give up on a task after this many failed attempts.
     max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.rebuild_mode not in ("double_buffered", "stop_the_world"):
+            raise ValueError(
+                f"unknown rebuild mode {self.rebuild_mode!r}; expected "
+                "'double_buffered' or 'stop_the_world'"
+            )
+        if self.compact_max_buckets < 1:
+            raise ValueError("compact_max_buckets must be >= 1")
 
 
 class MaintenanceQueue:
@@ -96,16 +129,35 @@ class MaintenanceQueue:
 
 
 @queueable
-def rebuild_shard(worker: "MaintenanceWorker", task: MaintenanceTask) -> Optional[KernelStats]:
-    """Rebuild a degraded shard from its authoritative arrays.
+def compact_shard(worker: "MaintenanceWorker", task: MaintenanceTask) -> Optional[KernelStats]:
+    """Tier 1: fold the hottest node chains of a mildly degraded shard.
 
-    Idempotent: if the shard is no longer degraded when the task runs (an
-    earlier task already rebuilt it, or deletes shrank the chains), the task
-    completes without doing any work.
+    Incremental healing — per-bucket chain compaction plus a BVH refit when
+    compaction re-anchored representatives.  Idempotent: a shard that
+    healed below the compact threshold before the task ran (or whose index
+    type has no chains) completes as a no-op.
     """
-    if worker.degradation_of(task.shard_id) < worker.policy.rebuild_threshold:
+    if worker.degradation_of(task.shard_id) < worker.policy.compact_threshold:
         return None
-    return worker.router.rebuild_shard(task.shard_id)
+    return worker.router.compact_shard(
+        task.shard_id, worker.policy.compact_max_buckets
+    )
+
+
+@queueable
+def rebuild_shard(worker: "MaintenanceWorker", task: MaintenanceTask) -> Optional[KernelStats]:
+    """Tier 3: rebuild a heavily degraded shard from its authoritative arrays.
+
+    Double-buffered by default: the replacement is built while the live
+    index keeps serving, then swapped in atomically.  Idempotent: if the
+    shard is no longer degraded (and its BVH quality no longer escalated)
+    when the task runs, it completes without doing any work.
+    """
+    if worker.degradation_of(task.shard_id) < worker.policy.rebuild_threshold and not (
+        worker.needs_bvh_rebuild(task.shard_id)
+    ):
+        return None
+    return worker.router.rebuild_shard(task.shard_id, mode=worker.policy.rebuild_mode)
 
 
 @queueable
@@ -155,6 +207,15 @@ def trim_negative_cache(worker: "MaintenanceWorker", task: MaintenanceTask) -> O
     return KernelStats(name="serve.cache_trim", launches=0)
 
 
+#: Maintenance tier a task's device time is accounted under.
+TASK_TIERS: Dict[str, str] = {
+    "compact_shard": "compact",
+    "rebuild_shard": "rebuild",
+    "resync_replicas": "resync",
+    "trim_negative_cache": "cache",
+}
+
+
 class MaintenanceWorker:
     """Scans shards for degradation and drains the task queue off-path."""
 
@@ -163,15 +224,23 @@ class MaintenanceWorker:
         router,
         policy: Optional[MaintenancePolicy] = None,
         cache=None,
+        metrics=None,
     ) -> None:
         self.router = router
         self.policy = policy or MaintenancePolicy()
         self.cache = cache
+        #: Telemetry sink for maintenance windows and stop-the-world outages
+        #: (the deployment points this at its active registry).
+        self.metrics = metrics
         self.queue = MaintenanceQueue()
         #: Simulated device time spent on background maintenance.
         self.maintenance_time_ms: float = 0.0
+        #: ... broken down per maintenance tier.
+        self.tier_time_ms: Dict[str, float] = {}
         #: Number of rebuilds actually performed (no-op completions excluded).
         self.rebuilds_performed: int = 0
+        #: Number of compaction passes actually performed.
+        self.compactions_performed: int = 0
         #: Number of replica resyncs performed (replicated deployments).
         self.resyncs_performed: int = 0
         #: Simulated time of the cycle currently executing (for task bodies).
@@ -186,12 +255,40 @@ class MaintenanceWorker:
             return 0.0
         return float(shard.index.degradation_score())
 
+    def needs_bvh_rebuild(self, shard_id: int) -> bool:
+        """Refit escalation: the shard's BVH overlap quality crossed its limit.
+
+        Incremental compaction heals chains with refits rather than BVH
+        rebuilds; once the refit debt (tracked as overlap-area growth)
+        passes the index's ``refit_escalation_ratio`` the shard is promoted
+        straight to the rebuild tier.
+        """
+        index = self.router.shards[int(shard_id)].index
+        ratio_of = getattr(index, "bvh_overlap_ratio", None)
+        threshold = getattr(getattr(index, "config", None), "refit_escalation_ratio", None)
+        if not callable(ratio_of) or threshold is None:
+            return False
+        return float(ratio_of()) > float(threshold)
+
     def scan(self, now_ms: float = 0.0) -> List[MaintenanceTask]:
-        """Enqueue rebuilds for degraded shards and a trim for a stale cache."""
+        """Enqueue tiered healing for degraded shards and a trim for a stale cache.
+
+        Escalating policy per shard: heavy degradation (or escalated refit
+        debt) queues a full rebuild; mild degradation queues incremental
+        compaction of the hottest-chained buckets.
+        """
         enqueued: List[MaintenanceTask] = []
         for shard in self.router.shards:
-            if self.degradation_of(shard.shard_id) >= self.policy.rebuild_threshold:
+            degradation = self.degradation_of(shard.shard_id)
+            if (
+                degradation >= self.policy.rebuild_threshold
+                or self.needs_bvh_rebuild(shard.shard_id)
+            ):
                 task = self.queue.enqueue("rebuild_shard", shard.shard_id, now_ms)
+                if task is not None:
+                    enqueued.append(task)
+            elif degradation >= self.policy.compact_threshold:
+                task = self.queue.enqueue("compact_shard", shard.shard_id, now_ms)
                 if task is not None:
                     enqueued.append(task)
             recovering = getattr(shard.index, "recovering_replicas", None)
@@ -229,12 +326,33 @@ class MaintenanceWorker:
                 task.work = work
                 cost_ms = self._work_time_ms(task.shard_id, work)
                 self.maintenance_time_ms += cost_ms
+                tier = TASK_TIERS.get(task.name, "other")
+                self.tier_time_ms[tier] = self.tier_time_ms.get(tier, 0.0) + cost_ms
                 if task.name == "rebuild_shard":
                     self.rebuilds_performed += 1
+                elif task.name == "compact_shard":
+                    self.compactions_performed += 1
+                if self.metrics is not None and cost_ms > 0.0:
+                    window = (self.now_ms, self.now_ms + cost_ms)
+                    self.metrics.record_maintenance(tier, *window)
+                    if (
+                        task.name == "rebuild_shard"
+                        and self.policy.rebuild_mode == "stop_the_world"
+                        and not self._shard_is_replicated(task.shard_id)
+                    ):
+                        # The shard had no index for the duration of the
+                        # build: that is a real outage, unlike the
+                        # double-buffered swap.
+                        self.metrics.record_unavailability(*window)
             task.status = "done" if task.work is not None else "skipped"
             task.completed_at_ms = float(now_ms)
             executed.append(task)
         return executed
+
+    def _shard_is_replicated(self, shard_id: int) -> bool:
+        """Replica groups rebuild rolling, so they never go offline."""
+        index = self.router.shards[int(shard_id)].index
+        return callable(getattr(index, "recovering_replicas", None))
 
     def run_cycle(self, now_ms: float = 0.0) -> List[MaintenanceTask]:
         """One background iteration: scan, then drain the queue."""
@@ -252,12 +370,17 @@ class MaintenanceWorker:
     # ---------------------------------------------------------------- reports
 
     def snapshot(self) -> dict:
-        return {
+        report = {
             "tasks_enqueued": len(self.queue.tasks),
             "tasks_done": len(self.queue.by_status("done")),
             "tasks_skipped": len(self.queue.by_status("skipped")),
             "tasks_failed": len(self.queue.by_status("failed")),
             "rebuilds_performed": self.rebuilds_performed,
+            "compactions_performed": self.compactions_performed,
             "resyncs_performed": self.resyncs_performed,
             "maintenance_time_ms": self.maintenance_time_ms,
+            "rebuild_peak_bytes": int(getattr(self.router, "rebuild_peak_bytes", 0)),
         }
+        for tier, time_ms in sorted(self.tier_time_ms.items()):
+            report[f"maintenance_ms_{tier}"] = time_ms
+        return report

@@ -629,6 +629,36 @@ class ReplicaGroup:
             rebuilt=any_rebuilt,
         )
 
+    def compact_buckets(self, bucket_ids) -> KernelStats:
+        """Compact the same buckets on every caught-up replica.
+
+        Compaction never changes answers, so replicas that miss it (down or
+        recovering ones) merely keep longer chains until their next resync —
+        the group's read-interchangeability invariant is preserved either
+        way.  Replicas whose index type has no chains are skipped.
+        """
+        parts: List[KernelStats] = []
+        for replica in self.replicas:
+            if replica.state != HEALTHY or replica.index is None:
+                continue
+            compact = getattr(replica.index, "compact_buckets", None)
+            if callable(compact):
+                parts.append(compact(bucket_ids))
+        self._bump("compactions")
+        return combine(f"serve.compact_s{self.shard_id}", parts)
+
+    def bucket_chain_lengths(self) -> np.ndarray:
+        """Chain lengths of the first available chain-based replica.
+
+        Healthy replicas apply identical update batches to identical builds,
+        so any one of them is representative of the group's chain debt.
+        """
+        for replica in self.available_replicas():
+            chain_lengths = getattr(replica.index, "bucket_chain_lengths", None)
+            if callable(chain_lengths):
+                return np.asarray(chain_lengths())
+        return np.zeros(0, dtype=np.int64)
+
     def reload(self, keys: np.ndarray, row_ids: np.ndarray) -> List[KernelStats]:
         """Replace the authoritative snapshot and rebuild every up replica.
 
@@ -772,6 +802,52 @@ class ReplicatedShardRouter(ShardRouter):
             stats = group.reload(shard.keys, shard.row_ids)
         shard.index = group
         shard.builds += 1
+        return stats
+
+    # --------------------------------------------------------------- lifecycle
+
+    def begin_shard_rebuild(self, shard_id: int) -> KernelStats:
+        """Mark a group rebuild in flight (no replacement copy is buffered).
+
+        A replica group rebuilds *rolling* — each replica reloads from the
+        authoritative snapshot while its peers keep serving — so the begin
+        phase has nothing to build; the reload happens at commit.  The base
+        class's behaviour (building a bare inner index and swapping it over
+        the group) would silently drop the group's replication state.
+        """
+        shard = self.shards[int(shard_id)]
+        if shard.pending_rebuild:
+            raise ValueError(f"shard {shard_id} already has a rebuild in flight")
+        shard.pending_rebuild = True
+        shard.pending_version = shard.version
+        return KernelStats(name=f"serve.rebuild_shard_{shard_id}", launches=0)
+
+    def commit_shard_rebuild(self, shard_id: int) -> None:
+        """Reload the replica group in place, preserving its membership."""
+        shard = self.shards[int(shard_id)]
+        if not shard.pending_rebuild:
+            raise ValueError(f"shard {shard_id} has no rebuild in flight")
+        shard.pending_rebuild = False
+        self._build_shard(shard)
+
+    def rebuild_shard(self, shard_id: int, mode: str = "double_buffered") -> KernelStats:
+        """Reload the shard's replica group in place (both modes).
+
+        A replica group is inherently double-buffered: each replica rebuilds
+        from the authoritative snapshot while its peers keep serving reads,
+        so there is never an offline window and no second full shard copy to
+        buffer — ``stop_the_world`` is accepted for interface compatibility
+        but cannot make a replicated shard unavailable.
+        """
+        if mode not in ("double_buffered", "stop_the_world"):
+            raise ValueError(f"unknown rebuild mode {mode!r}")
+        shard = self.shards[int(shard_id)]
+        if shard.pending_rebuild:
+            self.abort_shard_rebuild(shard_id)  # superseded two-phase rebuild
+        stats = combine(f"serve.rebuild_shard_{shard_id}", self._build_shard(shard))
+        self.rebuild_peak_bytes = max(
+            self.rebuild_peak_bytes, self.memory_footprint_bytes()
+        )
         return stats
 
     # ------------------------------------------------------------- membership

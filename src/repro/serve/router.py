@@ -88,6 +88,18 @@ class _Shard:
     index: Optional[GpuIndex] = None
     #: Number of rebuilds this shard has seen (bulk load included).
     builds: int = 0
+    #: Replacement index of an in-flight double-buffered rebuild.  While it
+    #: exists both generations are resident, which is exactly the peak the
+    #: deployment's memory accounting must expose.
+    pending_index: Optional[GpuIndex] = None
+    #: True between ``begin_shard_rebuild`` and its commit/abort (the
+    #: replacement of an empty shard is ``None`` yet still pending).
+    pending_rebuild: bool = False
+    #: Bumped on every authoritative mutation; lets a rebuild commit detect
+    #: updates that landed while the replacement was building.
+    version: int = 0
+    #: ``version`` the in-flight replacement was built from.
+    pending_version: int = -1
 
     @property
     def num_entries(self) -> int:
@@ -140,6 +152,10 @@ class ShardRouter:
 
         #: Per-shard breakdown of the most recent scattered call.
         self.last_calls: List[ShardCall] = []
+        #: Largest deployment footprint observed during a rebuild — for
+        #: double-buffered rebuilds this includes the window in which both
+        #: shard generations were resident.
+        self.rebuild_peak_bytes: int = 0
 
     # -------------------------------------------------------------- structure
 
@@ -162,28 +178,153 @@ class ShardRouter:
         ]
         return max(times) if times else 0.0
 
-    def _build_shard(self, shard: _Shard) -> List[KernelStats]:
-        """(Re)build one shard's index from its authoritative arrays."""
+    def _make_index(self, shard: _Shard) -> Optional[GpuIndex]:
+        """Build an index instance from the shard's authoritative arrays.
+
+        ``None`` for an empty shard (lookups into it are trivial misses).
+        """
         if shard.num_entries == 0:
-            # An empty shard has no index; lookups into it are trivial misses.
-            shard.index = None
-            shard.builds += 1
-            return []
+            return None
         keyset = KeySet(
             keys=shard.keys.copy(),
             row_ids=shard.row_ids.copy(),
             key_bits=self.key_bits,
             description=f"shard {shard.shard_id}",
         )
-        shard.index = self.factory(keyset, self.device)
-        shard.builds += 1
-        return list(shard.index.build_stats)
+        return self.factory(keyset, self.device)
 
-    def rebuild_shard(self, shard_id: int) -> KernelStats:
-        """Rebuild one shard from scratch; returns the build work performed."""
+    def _build_shard(self, shard: _Shard) -> List[KernelStats]:
+        """(Re)build one shard's index in place from its authoritative arrays."""
+        shard.index = self._make_index(shard)
+        shard.builds += 1
+        return list(shard.index.build_stats) if shard.index is not None else []
+
+    # --------------------------------------------------------------- lifecycle
+
+    def _make_replacement(self, shard: _Shard) -> Optional[GpuIndex]:
+        """Build a shard's replacement index for a double-buffered rebuild.
+
+        Indexes with a snapshot lifecycle (cgRXu) are rebuilt through
+        ``snapshot()``/``build_from_snapshot()`` so the replacement carries
+        the epoch lineage (``epoch + 1``); everything else is rebuilt from
+        the authoritative arrays, which track the live index's entries
+        byte-for-byte either way.
+        """
+        live = shard.index
+        if (
+            live is not None
+            and shard.num_entries > 0
+            and hasattr(live, "snapshot")
+            and hasattr(live, "build_from_snapshot")
+        ):
+            return live.build_from_snapshot(live.snapshot(), device=self.device)
+        # Empty shards (or index types without a snapshot lifecycle) rebuild
+        # from the authoritative arrays; an emptied shard's replacement is
+        # simply no index at all.
+        return self._make_index(shard)
+
+    def begin_shard_rebuild(self, shard_id: int) -> KernelStats:
+        """Phase one of a double-buffered rebuild: build the replacement.
+
+        The live index keeps serving; the replacement lives in the shard's
+        rebuild buffer (visible in the deployment's memory footprint) until
+        :meth:`commit_shard_rebuild` swaps it in or
+        :meth:`abort_shard_rebuild` drops it.
+        """
         shard = self.shards[int(shard_id)]
-        build_stats = self._build_shard(shard)
+        if shard.pending_rebuild:
+            raise ValueError(f"shard {shard_id} already has a rebuild in flight")
+        shard.pending_index = self._make_replacement(shard)
+        shard.pending_rebuild = True
+        shard.pending_version = shard.version
+        build_stats = (
+            list(shard.pending_index.build_stats)
+            if shard.pending_index is not None
+            else []
+        )
         return combine(f"serve.rebuild_shard_{shard_id}", build_stats)
+
+    def commit_shard_rebuild(self, shard_id: int) -> None:
+        """Phase two: atomically swap the replacement in (zero unavailability).
+
+        Every call the shard's index answered before this point was served
+        by the old generation; every later call by the new one — there is no
+        instant at which the shard has no index.  Updates that landed while
+        the replacement was building (the shard's version moved past the one
+        the replacement was built from) trigger a catch-up rebuild from the
+        current state before the swap, so a commit can never lose writes.
+        """
+        shard = self.shards[int(shard_id)]
+        if not shard.pending_rebuild:
+            raise ValueError(f"shard {shard_id} has no rebuild in flight")
+        if shard.version != shard.pending_version:
+            shard.pending_index = self._make_replacement(shard)
+            shard.pending_version = shard.version
+        shard.index = shard.pending_index
+        shard.pending_index = None
+        shard.pending_rebuild = False
+        shard.builds += 1
+
+    def abort_shard_rebuild(self, shard_id: int) -> None:
+        """Drop an in-flight replacement without swapping it in."""
+        shard = self.shards[int(shard_id)]
+        shard.pending_index = None
+        shard.pending_rebuild = False
+
+    def rebuild_shard(self, shard_id: int, mode: str = "double_buffered") -> KernelStats:
+        """Rebuild one shard from scratch; returns the build work performed.
+
+        ``double_buffered`` (default) builds the replacement off the request
+        path and swaps it in atomically — the shard serves throughout, at
+        the price of both generations being resident during the build.
+        ``stop_the_world`` takes the shard offline for the build (the
+        pre-lifecycle behaviour); the caller accounts the outage window
+        against availability.
+        """
+        shard = self.shards[int(shard_id)]
+        if shard.pending_rebuild:
+            # An immediate full rebuild supersedes a replacement someone
+            # started via the explicit two-phase API: it would be built
+            # from the same (or staler) state anyway.
+            self.abort_shard_rebuild(shard_id)
+        if mode == "double_buffered":
+            stats = self.begin_shard_rebuild(shard_id)
+            self.rebuild_peak_bytes = max(
+                self.rebuild_peak_bytes, self.memory_footprint_bytes()
+            )
+            self.commit_shard_rebuild(shard_id)
+            return stats
+        if mode != "stop_the_world":
+            raise ValueError(f"unknown rebuild mode {mode!r}")
+        shard.index = None  # offline for the duration of the build
+        build_stats = self._build_shard(shard)
+        self.rebuild_peak_bytes = max(
+            self.rebuild_peak_bytes, self.memory_footprint_bytes()
+        )
+        return combine(f"serve.rebuild_shard_{shard_id}", build_stats)
+
+    def compact_shard(self, shard_id: int, max_buckets: int = 64) -> Optional[KernelStats]:
+        """Compact the hottest-chained buckets of one shard.
+
+        The cheap first maintenance tier: fold the longest node chains of a
+        chain-based index (cgRXu, or every replica of a cgRXu replica group)
+        back into minimal chains.  ``None`` when the shard is empty, its
+        index type has no chains, or no bucket is chained at all.
+        """
+        shard = self.shards[int(shard_id)]
+        index = shard.index
+        if index is None:
+            return None
+        compact = getattr(index, "compact_buckets", None)
+        chain_lengths = getattr(index, "bucket_chain_lengths", None)
+        if not callable(compact) or not callable(chain_lengths):
+            return None
+        lengths = np.asarray(chain_lengths())
+        chained = np.nonzero(lengths > 1)[0]
+        if chained.size == 0:
+            return None
+        hottest = chained[np.argsort(lengths[chained], kind="stable")[::-1]]
+        return compact(hottest[: int(max_buckets)])
 
     def _routing_stats(self, num_keys: int) -> KernelStats:
         return KernelStats(
@@ -329,6 +470,7 @@ class ShardRouter:
                 # sorted-array maintenance below would be redundant work.
                 try:
                     shard.keys, shard.row_ids = shard.index.export_entries()
+                    shard.version += 1
                     deleted += result.deleted
                 except UnsupportedOperation:
                     deleted += self._apply_authoritative(
@@ -359,15 +501,21 @@ class ShardRouter:
         shard.keys, shard.row_ids, removed = apply_update_to_entries(
             shard.keys, shard.row_ids, insert_keys, insert_row_ids, delete_keys
         )
+        shard.version += 1
         return removed
 
     # ------------------------------------------------------------------ memory
 
     def memory_footprint_bytes(self) -> int:
-        return int(
-            sum(
-                shard.index.memory_footprint().total_bytes
-                for shard in self.shards
-                if shard.index is not None
-            )
+        """Resident device bytes, in-flight rebuild buffers included."""
+        total = sum(
+            shard.index.memory_footprint().total_bytes
+            for shard in self.shards
+            if shard.index is not None
         )
+        total += sum(
+            shard.pending_index.memory_footprint().total_bytes
+            for shard in self.shards
+            if shard.pending_index is not None
+        )
+        return int(total)

@@ -63,6 +63,15 @@ class ServeConfig:
     max_wait_ms: float = 1.0
     #: Degradation score at which the maintenance worker rebuilds a shard.
     rebuild_threshold: float = 0.5
+    #: Degradation score at which the maintenance worker starts compacting
+    #: a shard's hottest-chained buckets (the cheap first tier; set it at or
+    #: above ``rebuild_threshold`` to disable incremental compaction).
+    compact_threshold: float = 0.2
+    #: Hottest-chained buckets folded per compaction task.
+    compact_max_buckets: int = 64
+    #: How full shard rebuilds swap in: ``"double_buffered"`` (background
+    #: build + atomic swap, zero unavailability) or ``"stop_the_world"``.
+    rebuild_mode: str = "double_buffered"
     #: Host-side latency charged to a request answered from cache.
     cache_latency_ms: float = 0.01
     #: Replicas per shard (1 = unreplicated, the plain shard router).
@@ -165,7 +174,12 @@ class ShardedIndex(GpuIndex):
         )
         self.maintenance = MaintenanceWorker(
             self.router,
-            policy=MaintenancePolicy(rebuild_threshold=self.config.rebuild_threshold),
+            policy=MaintenancePolicy(
+                rebuild_threshold=self.config.rebuild_threshold,
+                compact_threshold=self.config.compact_threshold,
+                compact_max_buckets=self.config.compact_max_buckets,
+                rebuild_mode=self.config.rebuild_mode,
+            ),
             cache=self.cache,
         )
         #: Cumulative telemetry over every served stream (serve_stream default).
@@ -273,9 +287,11 @@ class ShardedIndex(GpuIndex):
         return self.failures
 
     def _bind_group_metrics(self, metrics: MetricsRegistry) -> None:
-        """Point the replica groups' telemetry at the active registry, so a
-        stream served into a caller-provided registry gets the failover and
-        availability records too (not just request latency)."""
+        """Point the replica groups' and the maintenance worker's telemetry
+        at the active registry, so a stream served into a caller-provided
+        registry gets the failover, availability and maintenance-window
+        records too (not just request latency)."""
+        self.maintenance.metrics = metrics
         if isinstance(self.router, ReplicatedShardRouter):
             for group in self.router.groups.values():
                 group.metrics = metrics
@@ -305,6 +321,13 @@ class ShardedIndex(GpuIndex):
                 footprint.add(
                     f"shard_{shard.shard_id}",
                     shard.index.memory_footprint().total_bytes,
+                )
+            if shard.pending_index is not None:
+                # A double-buffered rebuild in flight: the replacement is
+                # resident alongside the live generation until the swap.
+                footprint.add(
+                    f"shard_{shard.shard_id}_rebuild_buffer",
+                    shard.pending_index.memory_footprint().total_bytes,
                 )
         if self.cache is not None:
             # Host-side entry: key + aggregate + count + LRU links.
@@ -406,9 +429,9 @@ class ShardedIndex(GpuIndex):
             # availability up to the point serving stopped.
             for group in self.router.groups.values():
                 group.flush_unavailability(self.clock.now_ms)
-            # The caller's registry was only bound for this stream; direct
-            # calls afterwards report to the deployment's own again.
-            self._bind_group_metrics(self.metrics)
+        # The caller's registry was only bound for this stream; maintenance
+        # and group telemetry afterwards report to the deployment's own again.
+        self._bind_group_metrics(self.metrics)
         if self._answer_sink is not None:
             self.last_answers = self._answer_sink
             self._answer_sink = None

@@ -52,6 +52,12 @@ def hit_miss_lookups(
     ``out_of_range_fraction`` of those misses lie beyond the largest indexed
     key (which every index detects trivially), the rest fall into gaps within
     the indexed key range.
+
+    A fully dense key set (every value in ``[0, max_key)`` indexed) has no
+    in-range gaps to sample misses from; requested in-range misses are then
+    generated out of range instead, or a :class:`ValueError` is raised when
+    the key range is exhausted too.  (Without this check the rejection
+    sampler below would spin forever — the PR-3 footgun.)
     """
     if not 0.0 <= miss_fraction <= 1.0:
         raise ValueError("miss_fraction must be within [0, 1]")
@@ -72,6 +78,40 @@ def hit_miss_lookups(
     max_key = int(sorted_keys[-1])
     dtype = keyset.key_dtype
     dtype_max = int(np.iinfo(dtype).max)
+
+    if num_in_range:
+        # Feasibility: the sampler draws from [0, max_key), so a key set
+        # occupying every value in that range can never yield an in-range
+        # miss — and a *nearly* dense one would make rejection sampling
+        # spin effectively forever.
+        # ``sorted_keys`` is already sorted: dedup with one comparison pass
+        # instead of np.unique's unconditional re-sort.
+        distinct_below = sorted_keys[
+            np.concatenate([[True], sorted_keys[1:] != sorted_keys[:-1]])
+        ]
+        distinct_below = distinct_below[distinct_below < max_key]
+        gaps_in_range = max_key - int(distinct_below.shape[0])
+        if gaps_in_range == 0:
+            if max_key >= dtype_max:
+                raise ValueError(
+                    "cannot generate in-range misses: the key set is fully "
+                    "dense and the key range is exhausted"
+                )
+            num_out_of_range += num_in_range
+            num_in_range = 0
+        elif gaps_in_range < (max_key >> 3):
+            # Scarce gaps: sample them directly instead of by rejection.
+            # The j-th absent value of [0, max_key) is ``j`` plus the number
+            # of indexed values at or below it, found by binary search over
+            # the gap counts preceding each indexed value — exact, uniform
+            # over the gaps, and O(log n) per miss regardless of density.
+            targets = rng.integers(0, gaps_in_range, size=num_in_range)
+            gaps_before = distinct_below.astype(np.int64) - np.arange(
+                distinct_below.shape[0], dtype=np.int64
+            )
+            offsets = np.searchsorted(gaps_before, targets, side="right")
+            lookups.append((targets + offsets).astype(dtype))
+            num_in_range = 0
 
     if num_in_range:
         # Sample keys within the indexed range and reject the ones that exist.

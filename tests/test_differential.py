@@ -1,12 +1,13 @@
 """Differential fuzzing: every index implementation against a model oracle.
 
 A seeded fuzzer drives random operation sequences — bulk build, point-lookup
-batches, range-lookup batches and update batches — against every baseline,
-``CgRXuIndex``, a plain ``ShardedIndex`` deployment and a *replicated*
-``ShardedIndex`` with failure injection running on the simulated clock.  The
-oracle is the authoritative entry array maintained with the shared
-update-application helpers; any implementation whose answers drift from it
-fails the fuzz.
+batches, range-lookup batches, update batches and **bucket compaction**
+(cgRXu's incremental maintenance, which must never change an answer) —
+against every baseline, ``CgRXuIndex``, a plain ``ShardedIndex`` deployment
+and a *replicated* ``ShardedIndex`` with failure injection running on the
+simulated clock.  The oracle is the authoritative entry array maintained
+with the shared update-application helpers; any implementation whose answers
+drift from it fails the fuzz.
 
 Answer comparison is implementation-agnostic but exact:
 
@@ -191,7 +192,21 @@ def run_fuzz(config_name: str, seed: int, steps: int = 24, initial_keys: int = 1
             if injector.poll(float(step)):
                 subject.index.maintenance.run_cycle(float(step))
 
-        op = rng.choice(["point", "range", "update"], p=[0.4, 0.3, 0.3])
+        op = rng.choice(["point", "range", "update", "compact"], p=[0.35, 0.25, 0.3, 0.1])
+        if op == "compact":
+            # Interleaved incremental maintenance: compact random buckets of
+            # a cgRXu index (both engines), or the hottest chains of a random
+            # shard of a served deployment (a no-op for chain-free inner
+            # types).  Answers checked by every later op must not move.
+            index = subject.index
+            if hasattr(index, "compact_buckets"):
+                num_buckets = index.overflow_bucket + 1
+                index.compact_buckets(
+                    rng.integers(0, num_buckets, size=min(8, num_buckets))
+                )
+            elif hasattr(index, "router"):
+                index.router.compact_shard(int(rng.integers(0, index.router.num_shards)))
+            continue
         if op == "point":
             if not subject.supports_point:  # RTScan is range-only
                 continue
