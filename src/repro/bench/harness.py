@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -56,10 +57,17 @@ class ExperimentResult:
         return format_table(self.rows)
 
     def to_json(self) -> str:
-        """The experiment as a JSON document (the ``BENCH_*.json`` format)."""
+        """The experiment as a JSON document (the ``BENCH_*.json`` format).
+
+        The output is strict JSON: ``NaN``/``Infinity`` values (legal Python
+        floats, illegal JSON) are replaced by ``null`` so any spec-compliant
+        parser can read the artifact.  Serialisation runs with
+        ``allow_nan=False`` as a backstop — a non-finite value that slips
+        past the sanitiser is a bug, not output.
+        """
         import json
 
-        def default(value: object):
+        def convert(value: object):
             if isinstance(value, np.integer):
                 return int(value)
             if isinstance(value, np.floating):
@@ -70,15 +78,29 @@ class ExperimentResult:
                 return value.tolist()
             raise TypeError(f"cannot serialise {type(value).__name__}")
 
+        def sanitize(value: object):
+            if isinstance(value, dict):
+                return {key: sanitize(item) for key, item in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [sanitize(item) for item in value]
+            if isinstance(value, (np.integer, np.floating, np.bool_, np.ndarray)):
+                return sanitize(convert(value))
+            if isinstance(value, float) and not math.isfinite(value):
+                return None
+            return value
+
         return json.dumps(
-            {
-                "name": self.name,
-                "description": self.description,
-                "parameters": self.parameters,
-                "rows": self.rows,
-            },
+            sanitize(
+                {
+                    "name": self.name,
+                    "description": self.description,
+                    "parameters": self.parameters,
+                    "rows": self.rows,
+                }
+            ),
             indent=2,
-            default=default,
+            allow_nan=False,
+            default=convert,
         )
 
     def save_json(self, directory: str = ".") -> str:

@@ -34,6 +34,7 @@ from repro.gpu.kernels import KernelStats
 from repro.gpu.memory import MemoryFootprint
 from repro.gpu.simt import divergence_factor
 from repro.gpu.sort import device_radix_sort
+from repro.obs import profile as _profile
 from repro.rtx.bvh import BvhBuildConfig
 from repro.rtx.pipeline import RaytracingPipeline
 from repro.rtx.refit import overlap_ratio, total_overlap_area
@@ -311,6 +312,9 @@ class CgRXuIndex(GpuIndex):
         stats = self._point_lookup_stats(
             keys, ray_stats, total_nodes, total_entries, work_sample
         )
+        prof = _profile.profiler()
+        if prof is not None:
+            prof.observe_chain_walk("scalar", total_nodes, num_lookups)
         return LookupResult(row_ids=row_agg, match_counts=match_counts, stats=stats)
 
     def _point_lookup_batch_vector(self, keys: np.ndarray) -> LookupResult:
@@ -333,6 +337,9 @@ class CgRXuIndex(GpuIndex):
             int(entries.sum()),
             work_sample,
         )
+        prof = _profile.profiler()
+        if prof is not None:
+            prof.observe_chain_walk("vector", int(chain_nodes.sum()), num_lookups)
         return LookupResult(
             row_ids=row_agg, match_counts=match_counts.astype(np.int64), stats=stats
         )
@@ -845,6 +852,7 @@ class CgRXuIndex(GpuIndex):
         uppers = self._bucket_uppers
         reanchored = 0
         per_bucket_work: List[int] = []
+        prof = _profile.profiler()
         for bucket in bucket_ids:
             bucket = int(bucket)
             chain_keys, chain_rows = self.nodes.chain_entries(bucket)
@@ -867,6 +875,8 @@ class CgRXuIndex(GpuIndex):
             before, after = self.nodes.compact_chain(
                 bucket, new_upper, entries=(chain_keys, chain_rows)
             )
+            if prof is not None:
+                prof.observe_chain_compaction(before, after)
             self.lifecycle["nodes_reclaimed"] += before - after
             stats.bytes_read += before * self.config.node_bytes
             stats.bytes_written += after * self.config.node_bytes

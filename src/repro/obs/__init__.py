@@ -1,0 +1,48 @@
+"""Cross-cutting observability: tracing, labeled telemetry, attribution.
+
+``repro.obs`` is the substrate the serving stack reports into:
+
+* :mod:`repro.obs.trace` — spans on the simulated clock with propagated
+  trace context; exports Chrome trace-event JSON for Perfetto.
+* :mod:`repro.obs.telemetry` — labeled counters, gauges, and mergeable
+  log-bucketed bounded-memory histograms with Prometheus-style exposition
+  and time-series sampling.
+* :mod:`repro.obs.profile` — process-wide profiling hooks the device
+  kernels and node-chain code report into (no-ops unless enabled).
+* :mod:`repro.obs.attribution` — reduces a trace into a per-stage
+  critical-path latency breakdown.
+"""
+
+from .attribution import STAGE_NAMES, critical_path_breakdown, format_breakdown
+from .profile import Profiler, disable_profiling, enable_profiling, profiler
+from .telemetry import (
+    Counter,
+    Gauge,
+    LogBucketHistogram,
+    PERCENTILE_RELATIVE_ERROR,
+    TelemetryRegistry,
+    default_boundaries,
+    render_name,
+)
+from .trace import NULL_TRACER, Span, TraceContext, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LogBucketHistogram",
+    "NULL_TRACER",
+    "PERCENTILE_RELATIVE_ERROR",
+    "Profiler",
+    "STAGE_NAMES",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "TelemetryRegistry",
+    "critical_path_breakdown",
+    "default_boundaries",
+    "disable_profiling",
+    "enable_profiling",
+    "format_breakdown",
+    "profiler",
+    "render_name",
+]

@@ -1,0 +1,120 @@
+"""Critical-path latency attribution over recorded traces.
+
+Reduces a span list into a per-stage breakdown of *tail* latency: take the
+root ``request`` spans, find the traces at or beyond the requested latency
+percentile, and apportion their end-to-end time across the serving stages
+(cache probe, coalescer queue wait, device execution, replica failover).
+The result answers "p99 = 62% queue wait + 31% device + 7% failover".
+
+Maintenance interference is reported alongside (not as a stage fraction):
+for every tail request the overlap of its lifetime with concurrent
+maintenance spans is accumulated, quantifying how much of the tail sat
+under an active maintenance window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from .trace import Span
+
+#: Canonical per-request stage span names, in pipeline order.
+STAGE_NAMES = (
+    "cache.probe",
+    "queue.wait",
+    "device.execute",
+    "replica.failover",
+)
+
+MAINTENANCE_CATEGORY = "maintenance"
+
+
+def _overlap_ms(start: float, end: float, windows: Sequence[Span]) -> float:
+    total = 0.0
+    for window in windows:
+        low = max(start, window.start_ms)
+        high = min(end, window.end_ms)
+        if high > low:
+            total += high - low
+    return total
+
+
+def critical_path_breakdown(
+    spans: Iterable[Span], percentile: float = 99.0
+) -> Dict[str, object]:
+    """Per-stage latency attribution of the tail of the request population.
+
+    Returns a dict with the tail threshold, the number of requests analysed,
+    a ``stages`` list of ``{stage, total_ms, fraction}`` rows (fractions
+    normalised over attributed stage time, descending), and the maintenance
+    interference overlap of the tail requests.
+    """
+    spans = list(spans)
+    roots = [s for s in spans if s.name == "request"]
+    if not roots:
+        return {
+            "percentile": float(percentile),
+            "num_requests": 0,
+            "tail_requests": 0,
+            "latency_at_percentile_ms": float("nan"),
+            "stages": [],
+            "maintenance_overlap_ms": 0.0,
+            "maintenance_overlap_fraction": 0.0,
+        }
+    stage_by_trace: Dict[int, Dict[str, float]] = {}
+    for span in spans:
+        if span.name in STAGE_NAMES:
+            per_trace = stage_by_trace.setdefault(span.trace_id, {})
+            per_trace[span.name] = per_trace.get(span.name, 0.0) + span.duration_ms
+    maintenance_windows = [s for s in spans if s.category == MAINTENANCE_CATEGORY]
+
+    totals = np.array([root.duration_ms for root in roots], dtype=np.float64)
+    threshold = float(np.percentile(totals, percentile))
+    tail = [root for root in roots if root.duration_ms >= threshold]
+
+    stage_totals = {name: 0.0 for name in STAGE_NAMES}
+    tail_time = 0.0
+    maintenance_overlap = 0.0
+    for root in tail:
+        tail_time += root.duration_ms
+        for name, duration in stage_by_trace.get(root.trace_id, {}).items():
+            stage_totals[name] += duration
+        maintenance_overlap += _overlap_ms(
+            root.start_ms, root.end_ms, maintenance_windows
+        )
+    attributed = sum(stage_totals.values())
+    stages: List[Dict[str, object]] = [
+        {
+            "stage": name,
+            "total_ms": total,
+            "fraction": (total / attributed) if attributed > 0.0 else 0.0,
+        }
+        for name, total in stage_totals.items()
+    ]
+    stages.sort(key=lambda row: (-row["total_ms"], row["stage"]))
+    return {
+        "percentile": float(percentile),
+        "num_requests": len(roots),
+        "tail_requests": len(tail),
+        "latency_at_percentile_ms": threshold,
+        "stages": stages,
+        "maintenance_overlap_ms": maintenance_overlap,
+        "maintenance_overlap_fraction": (
+            maintenance_overlap / tail_time if tail_time > 0.0 else 0.0
+        ),
+    }
+
+
+def format_breakdown(breakdown: Dict[str, object]) -> str:
+    """One-line human summary, e.g. ``p99 = 62% queue.wait + 31% device.execute``."""
+    label = f"p{breakdown['percentile']:g}"
+    parts = [
+        f"{row['fraction'] * 100.0:.0f}% {row['stage']}"
+        for row in breakdown["stages"]
+        if row["total_ms"] > 0.0
+    ]
+    if not parts:
+        return f"{label} = (no attributed stages)"
+    return f"{label} = " + " + ".join(parts)

@@ -1,0 +1,279 @@
+"""Request tracing on the simulated clock.
+
+A :class:`Tracer` records :class:`Span` objects — named time intervals on the
+*simulated* timeline (`SimulatedClock` milliseconds), annotated with
+structured attributes (shard id, replica id, batch size, engine, epoch, ...).
+Because the serving stack computes stage timings analytically, spans are
+usually recorded retroactively via :meth:`Tracer.record_span` once start and
+duration are known; :meth:`Tracer.push_span`/:meth:`Tracer.pop` additionally
+maintain a context stack so instrumentation in lower layers (replica groups,
+device engines) can attach child spans to whatever higher-level span is
+active, without any layer passing trace handles explicitly.
+
+Traces export to Chrome trace-event JSON (``ph: "X"`` complete events with
+microsecond timestamps) so a run opens directly in ``chrome://tracing`` or
+Perfetto.  Lanes (one per shard, plus maintenance, cache, ...) map to
+thread ids with ``thread_name`` metadata events.
+
+A disabled tracer is free to keep bound everywhere: every recording method
+checks :attr:`Tracer.enabled` first and call sites on hot paths guard with
+``if tracer.enabled`` so the untraced run does no per-request work.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "TraceContext", "Tracer", "NULL_TRACER"]
+
+
+class Span:
+    """One named interval on the simulated timeline."""
+
+    __slots__ = (
+        "name",
+        "category",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_ms",
+        "duration_ms",
+        "lane",
+        "attributes",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        start_ms: float,
+        duration_ms: float,
+        lane: str,
+        attributes: Optional[Dict[str, object]],
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ms = start_ms
+        self.duration_ms = duration_ms
+        self.lane = lane
+        self.attributes = attributes
+
+    @property
+    def end_ms(self) -> float:
+        return self.start_ms + self.duration_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, span={self.span_id}, "
+            f"[{self.start_ms:.3f}, {self.end_ms:.3f}] ms)"
+        )
+
+
+class TraceContext:
+    """Propagated handle to the currently active span."""
+
+    __slots__ = ("trace_id", "span_id", "start_ms")
+
+    def __init__(self, trace_id: int, span_id: int, start_ms: float) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.start_ms = start_ms
+
+
+class Tracer:
+    """Span recorder with a propagation stack and Chrome trace export."""
+
+    def __init__(self, clock=None, enabled: bool = True) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.spans: List[Span] = []
+        self._stack: List[TraceContext] = []
+        self._next_span_id = 1
+        self._next_trace_id = 1
+
+    # -- recording ---------------------------------------------------------
+    @property
+    def current(self) -> Optional[TraceContext]:
+        """Context of the innermost active span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def new_trace_id(self) -> int:
+        trace_id = self._next_trace_id
+        self._next_trace_id += 1
+        return trace_id
+
+    def emit(
+        self,
+        name: str,
+        start_ms: float,
+        duration_ms: float,
+        category: str,
+        lane: str,
+        trace_id: int,
+        parent_id: Optional[int],
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> Span:
+        """Low-level hot-path emit: no enabled check, no context lookup.
+
+        Call sites that already resolved trace/parent ids (and guard with
+        ``tracer.enabled`` themselves) use this to skip the convenience
+        layers of :meth:`record_span`.  ``attributes`` may be shared between
+        spans — spans never mutate their attribute dict after emission.
+        """
+        span_id = self._next_span_id
+        self._next_span_id = span_id + 1
+        span = Span(
+            name, category, trace_id, span_id, parent_id,
+            start_ms, duration_ms, lane, attributes,
+        )
+        self.spans.append(span)
+        return span
+
+    def record_span(
+        self,
+        name: str,
+        start_ms: float,
+        duration_ms: float,
+        *,
+        category: str = "serve",
+        lane: str = "serve",
+        trace_id: Optional[int] = None,
+        parent: Optional[object] = None,
+        **attributes: object,
+    ) -> Optional[Span]:
+        """Record a completed span; returns ``None`` when disabled.
+
+        ``parent`` may be a :class:`Span` or :class:`TraceContext`; when
+        omitted, the innermost span on the context stack (if any) is the
+        parent and the span inherits its trace id.
+        """
+        if not self.enabled:
+            return None
+        if parent is None:
+            parent = self.current
+        parent_id: Optional[int] = None
+        if parent is not None:
+            parent_id = parent.span_id
+            if trace_id is None:
+                trace_id = parent.trace_id
+        if trace_id is None:
+            trace_id = self.new_trace_id()
+        return self.emit(
+            name,
+            float(start_ms),
+            float(duration_ms),
+            category,
+            lane,
+            trace_id,
+            parent_id,
+            attributes or None,
+        )
+
+    def push_span(
+        self,
+        name: str,
+        start_ms: float,
+        duration_ms: float = 0.0,
+        **kwargs: object,
+    ) -> Optional[Span]:
+        """Record a span and make it the active context (pair with :meth:`pop`).
+
+        The returned span may still be mutated (e.g. its ``duration_ms``
+        updated once the simulated cost is known) — export happens later.
+        """
+        span = self.record_span(name, start_ms, duration_ms, **kwargs)
+        if span is not None:
+            self._stack.append(
+                TraceContext(span.trace_id, span.span_id, span.start_ms)
+            )
+        return span
+
+    def pop(self) -> None:
+        if self._stack:
+            self._stack.pop()
+
+    def reset(self) -> None:
+        """Drop all recorded spans and contexts (trace/span ids keep counting)."""
+        self.spans.clear()
+        self._stack.clear()
+
+    # -- queries -----------------------------------------------------------
+    def spans_named(self, name: str) -> List[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def trace(self, trace_id: int) -> List[Span]:
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    # -- export ------------------------------------------------------------
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """Render all spans as a Chrome trace-event JSON document.
+
+        Every span becomes a ``ph: "X"`` (complete) event with ``ts``/``dur``
+        in microseconds; each lane becomes a thread with a ``thread_name``
+        metadata event so Perfetto shows readable track names.
+        """
+        lane_tids: Dict[str, int] = {}
+        events: List[Dict[str, object]] = []
+        for span in self.spans:
+            tid = lane_tids.get(span.lane)
+            if tid is None:
+                tid = len(lane_tids)
+                lane_tids[span.lane] = tid
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": 0,
+                        "tid": tid,
+                        "args": {"name": span.lane},
+                    }
+                )
+            args: Dict[str, object] = {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+            }
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            if span.attributes:
+                args.update(span.attributes)
+            start_us = span.start_ms * 1000.0
+            duration_us = span.duration_ms * 1000.0
+            if not math.isfinite(start_us):
+                start_us = 0.0
+            if not math.isfinite(duration_us) or duration_us < 0.0:
+                duration_us = 0.0
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": start_us,
+                    "dur": duration_us,
+                    "pid": 0,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def save_chrome_trace(self, path: str) -> str:
+        document = self.to_chrome_trace()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, allow_nan=False)
+            handle.write("\n")
+        return path
+
+
+#: Shared always-off tracer: safe default binding for instrumented components.
+NULL_TRACER = Tracer(enabled=False)

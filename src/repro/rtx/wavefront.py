@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import profile as _profile
 from repro.rtx.bvh import Bvh
 from repro.rtx.geometry import HitRecord, Ray, ray_triangles_intersect
 
@@ -199,8 +200,10 @@ def trace_axis_batch(
     hit_ts: List[np.ndarray] = []
     hit_triangles: List[np.ndarray] = []
 
+    iterations = 0
     active = np.nonzero(pointer > 0)[0]
     while active.size:
+        iterations += 1
         pointer[active] -= 1
         node = stack[active, pointer[active]]
         nodes_visited[active] += 1
@@ -281,6 +284,13 @@ def trace_axis_batch(
     stats.nodes_visited += total_nodes
     stats.aabb_tests += total_nodes
     stats.triangle_tests += triangle_tests
+
+    # Profiling hook: each active ray advances one node per iteration, so
+    # total node visits double as the lane-step count and mean occupancy is
+    # total_nodes / (iterations * num_rays).  One global read when disabled.
+    prof = _profile.profiler()
+    if prof is not None:
+        prof.observe_wavefront("trace_axis_batch", iterations, num_rays, total_nodes)
 
     if collect_all:
         if hit_rays:
@@ -369,8 +379,12 @@ def trace_closest_batch(
     stack = np.zeros((num_rays, soa.stack_depth), dtype=np.int64)
     pointer = np.ones(num_rays, dtype=np.int64)
 
+    iterations = 0
+    lane_steps = 0
     active = np.nonzero(pointer > 0)[0]
     while active.size:
+        iterations += 1
+        lane_steps += int(active.size)
         pointer[active] -= 1
         node = stack[active, pointer[active]]
         stats.nodes_visited += int(active.size)
@@ -431,6 +445,10 @@ def trace_closest_batch(
             pointer[inner_rays] = top + 2
 
         active = active[pointer[active] > 0]
+
+    prof = _profile.profiler()
+    if prof is not None:
+        prof.observe_wavefront("trace_closest_batch", iterations, num_rays, lane_steps)
 
     for record in records:
         if record.hit:

@@ -15,10 +15,15 @@ turns any of them into a served deployment:
   injection (crash/slow/transient) with automatic failover, and catch-up of
   recovered replicas, and
 * :mod:`repro.serve.metrics` — p50/p99 latency, throughput, hit-rate,
-  shard-skew and availability/failover telemetry.
+  shard-skew and availability/failover telemetry (a façade over the labeled
+  :class:`repro.obs.TelemetryRegistry` substrate).
 
 :class:`~repro.serve.sharded.ShardedIndex` composes all of it behind the
-:class:`~repro.baselines.base.GpuIndex` interface.
+:class:`~repro.baselines.base.GpuIndex` interface.  Arm
+``ServeConfig(tracing=True)`` for per-request tracing via
+:mod:`repro.obs` (spans on the simulated clock, Chrome trace export) and
+``ServeConfig(telemetry_sample_interval_ms=...)`` for periodic
+time-series sampling of every labeled instrument.
 """
 
 from repro.serve.batching import Batch, BatchPolicy, BatchScheduler

@@ -92,8 +92,12 @@ class BatchScheduler:
     depend on when the next request happens to arrive.
     """
 
-    def __init__(self, policy: BatchPolicy) -> None:
+    def __init__(self, policy: BatchPolicy, telemetry=None) -> None:
         self.policy = policy
+        #: Optional :class:`repro.obs.TelemetryRegistry`: when bound, every
+        #: dispatch records the batch size and the per-request queue waits
+        #: into bounded-memory histograms (one vectorized bulk record).
+        self.telemetry = telemetry
         self._queues: Dict[int, _ShardQueue] = {}
         self._dispatched = 0
         self._last_arrival_ms = float("-inf")
@@ -176,4 +180,9 @@ class BatchScheduler:
         queue.request_ids.clear()
         queue.arrival_ms.clear()
         self._dispatched += 1
+        if self.telemetry is not None:
+            self.telemetry.histogram("serve_batch_size").record(batch.size)
+            self.telemetry.histogram(
+                "serve_batch_queue_wait_ms", reason=reason
+            ).record_many(batch.queue_delays_ms())
         return batch

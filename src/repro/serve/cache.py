@@ -182,3 +182,19 @@ class ResultCache:
     def clear(self) -> None:
         self.stats.invalidations += len(self._entries)
         self._entries.clear()
+
+    # -------------------------------------------------------------- telemetry
+
+    def publish_telemetry(self, telemetry) -> None:
+        """Publish the cache's counters into a labeled telemetry registry.
+
+        Gauges (last-write-wins) rather than counters: the deployment calls
+        this at stream boundaries and sample points, so re-publishing the
+        same cumulative totals never double-counts.
+        """
+        for stat, value in self.stats.snapshot().items():
+            telemetry.gauge("serve_cache", stat=stat).set(value)
+        telemetry.gauge("serve_cache", stat="entries").set(len(self))
+        telemetry.gauge("serve_cache", stat="negative_entries").set(
+            self.negative_count
+        )

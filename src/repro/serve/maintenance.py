@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.gpu.kernels import KernelStats
+from repro.obs.trace import NULL_TRACER
 
 #: Registry of queueable maintenance task functions, keyed by name.
 QUEUEABLE_TASKS: Dict[str, Callable] = {}
@@ -232,6 +233,9 @@ class MaintenanceWorker:
         #: Telemetry sink for maintenance windows and stop-the-world outages
         #: (the deployment points this at its active registry).
         self.metrics = metrics
+        #: Span sink; the deployment points this at its tracer, so executed
+        #: maintenance tasks appear as spans on their own trace lane.
+        self.tracer = NULL_TRACER
         self.queue = MaintenanceQueue()
         #: Simulated device time spent on background maintenance.
         self.maintenance_time_ms: float = 0.0
@@ -332,9 +336,22 @@ class MaintenanceWorker:
                     self.rebuilds_performed += 1
                 elif task.name == "compact_shard":
                     self.compactions_performed += 1
+                if self.tracer.enabled and cost_ms > 0.0:
+                    self.tracer.record_span(
+                        f"maintenance.{tier}",
+                        self.now_ms,
+                        cost_ms,
+                        category="maintenance",
+                        lane="maintenance",
+                        shard=task.shard_id,
+                        task=task.name,
+                    )
                 if self.metrics is not None and cost_ms > 0.0:
                     window = (self.now_ms, self.now_ms + cost_ms)
                     self.metrics.record_maintenance(tier, *window)
+                    self.metrics.telemetry.counter(
+                        "serve_maintenance_tasks_total", tier=tier
+                    ).inc()
                     if (
                         task.name == "rebuild_shard"
                         and self.policy.rebuild_mode == "stop_the_world"

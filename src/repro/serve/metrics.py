@@ -5,21 +5,44 @@ path records one latency sample per request (queueing delay plus the share of
 the device batch the request rode in) and bumps counters; :meth:`snapshot`
 reduces everything into the flat dict the serving experiment reports —
 p50/p99 latency, request throughput, cache hit rate and shard skew.
+
+Since the observability PR the registry is a façade over a labeled
+:class:`repro.obs.TelemetryRegistry`: every counter, per-shard load and
+latency distribution lives as a labeled instrument there (so the whole
+deployment exports as a Prometheus-style exposition and samples into a time
+series on the simulated clock), while this module preserves the historical
+recording API and the exact :meth:`snapshot` key set byte-for-byte.
+Latency distributions are log-bucketed bounded-memory histograms
+(:class:`repro.obs.LogBucketHistogram`); the exact-sample
+:class:`LatencyHistogram` is retained as the accuracy oracle the tests
+compare bucketed percentiles against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
+
+from repro.obs.telemetry import LogBucketHistogram, TelemetryRegistry
+
+#: Labeled instrument names the façade records into.
+EVENTS_METRIC = "serve_events_total"
+LATENCY_METRIC = "serve_request_latency_ms"
+FAILOVER_LATENCY_METRIC = "serve_failover_latency_ms"
+SHARD_REQUESTS_METRIC = "serve_shard_requests_total"
+SHARD_BUSY_METRIC = "serve_shard_busy_ms_total"
+CLIENT_REQUESTS_METRIC = "serve_client_requests_total"
+REPLICA_REQUESTS_METRIC = "serve_replica_requests_total"
+MAINTENANCE_DEVICE_METRIC = "serve_maintenance_device_ms_total"
 
 
 class LatencyHistogram:
     """Latency samples with exact percentile reduction.
 
-    The simulation records every sample (request counts are laptop-scale);
-    a production implementation would substitute fixed bucket boundaries.
+    Retained as the exactness *oracle*: the serving hot path now records into
+    bounded-memory log-bucketed histograms, and the tests bound the bucketed
+    percentile error against this exact-sample implementation.
     """
 
     def __init__(self) -> None:
@@ -58,6 +81,20 @@ class LatencyHistogram:
         return float(np.max(np.asarray(self._samples)))
 
 
+class BoundedLatencyHistogram(LogBucketHistogram):
+    """Log-bucketed histogram with the latency-flavoured accessor names."""
+
+    __slots__ = ()
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean
+
+    @property
+    def max_ms(self) -> float:
+        return self.maximum
+
+
 def shard_skew(per_shard_load: np.ndarray) -> float:
     """Load imbalance: max shard load over mean shard load (1.0 = balanced)."""
     loads = np.asarray(per_shard_load, dtype=np.float64)
@@ -69,46 +106,96 @@ def shard_skew(per_shard_load: np.ndarray) -> float:
     return float(loads.max() / mean)
 
 
-@dataclass
 class MetricsRegistry:
-    """Counters, latency histogram and per-shard load of one deployment."""
+    """Counters, latency histograms and per-shard load of one deployment.
 
-    #: Shard count of the deployment; when set, skew metrics include shards
-    #: that received no load at all (a cold shard is the worst imbalance).
-    num_shards: Optional[int] = None
-    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
-    counters: Dict[str, int] = field(default_factory=dict)
-    #: Requests served per shard (drives the skew metric).
-    shard_requests: Dict[int, int] = field(default_factory=dict)
-    #: Requests received per client (drives the client-skew metric).
-    client_requests: Dict[int, int] = field(default_factory=dict)
-    #: Simulated device-busy time accumulated per shard.
-    shard_busy_ms: Dict[int, float] = field(default_factory=dict)
-    #: Timestamps bounding the served stream (for throughput).
-    first_arrival_ms: Optional[float] = None
-    last_completion_ms: Optional[float] = None
-    #: Detection-plus-retry latency of every read failover (replication).
-    failover_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
-    #: Closed windows during which a shard had no available replica.
-    unavailability_windows: List[tuple] = field(default_factory=list)
-    #: Requests served per replica, keyed ``"shard:replica"``.
-    replica_requests: Dict[str, int] = field(default_factory=dict)
-    #: Background-maintenance windows ``(tier, start_ms, end_ms)``.
-    maintenance_windows: List[tuple] = field(default_factory=list)
-    #: Simulated maintenance device time accumulated per tier.
-    maintenance_device_ms: Dict[str, float] = field(default_factory=dict)
-    #: Arrival timestamp of every latency sample (aligned with ``latency``),
-    #: so tail latency can be reduced over maintenance windows after the fact.
-    request_arrivals: List[float] = field(default_factory=list)
+    Façade over a labeled :class:`TelemetryRegistry`: the historical dict
+    attributes (``counters``, ``shard_requests``, ...) are read-only views
+    materialised from the labeled instruments.
+    """
+
+    def __init__(
+        self,
+        num_shards: Optional[int] = None,
+        telemetry: Optional[TelemetryRegistry] = None,
+    ) -> None:
+        #: Shard count of the deployment; when set, skew metrics include
+        #: shards that received no load at all (a cold shard is the worst
+        #: imbalance).
+        self.num_shards = num_shards
+        #: Labeled instrument substrate (exposition / time-series surface).
+        self.telemetry = telemetry if telemetry is not None else TelemetryRegistry()
+        #: Request latency distribution (bounded-memory, mergeable).
+        self.latency = self._histogram(LATENCY_METRIC)
+        #: Detection-plus-retry latency of every read failover (replication).
+        self.failover_latency = self._histogram(FAILOVER_LATENCY_METRIC)
+        #: Timestamps bounding the served stream (for throughput).
+        self.first_arrival_ms: Optional[float] = None
+        self.last_completion_ms: Optional[float] = None
+        #: Closed windows during which a shard had no available replica.
+        self.unavailability_windows: List[tuple] = []
+        #: Background-maintenance windows ``(tier, start_ms, end_ms)``.
+        self.maintenance_windows: List[tuple] = []
+        #: Arrival timestamp and exact latency of every request (aligned),
+        #: kept so tail latency can be reduced over maintenance windows after
+        #: the fact with exact percentiles (the simulation-side oracle; the
+        #: histogram above is the bounded-memory production analogue).
+        self.request_arrivals: List[float] = []
+        self.request_latencies: List[float] = []
+
+    def _histogram(self, name: str) -> BoundedLatencyHistogram:
+        return self.telemetry.get_or_create(name, BoundedLatencyHistogram)
+
+    # ----------------------------------------------------------- dict views
+
+    def _labeled_ints(self, metric: str, key_type=int) -> dict:
+        return {
+            key_type(labels[0][1]): instrument.value
+            for _, labels, instrument in self.telemetry.instruments(metric)
+        }
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Event counters (read-only view; record via :meth:`bump`)."""
+        return {
+            labels[0][1]: instrument.value
+            for _, labels, instrument in self.telemetry.instruments(EVENTS_METRIC)
+        }
+
+    @property
+    def shard_requests(self) -> Dict[int, int]:
+        """Requests served per shard (drives the skew metric)."""
+        return self._labeled_ints(SHARD_REQUESTS_METRIC)
+
+    @property
+    def client_requests(self) -> Dict[int, int]:
+        """Requests received per client (drives the client-skew metric)."""
+        return self._labeled_ints(CLIENT_REQUESTS_METRIC)
+
+    @property
+    def shard_busy_ms(self) -> Dict[int, float]:
+        """Simulated device-busy time accumulated per shard."""
+        return self._labeled_ints(SHARD_BUSY_METRIC)
+
+    @property
+    def replica_requests(self) -> Dict[str, int]:
+        """Requests served per replica, keyed ``"shard:replica"``."""
+        return self._labeled_ints(REPLICA_REQUESTS_METRIC, key_type=str)
+
+    @property
+    def maintenance_device_ms(self) -> Dict[str, float]:
+        """Simulated maintenance device time accumulated per tier."""
+        return self._labeled_ints(MAINTENANCE_DEVICE_METRIC, key_type=str)
 
     # --------------------------------------------------------------- recording
 
     def bump(self, counter: str, amount: int = 1) -> None:
-        self.counters[counter] = self.counters.get(counter, 0) + int(amount)
+        self.telemetry.counter(EVENTS_METRIC, event=counter).inc(int(amount))
 
     def record_request(self, latency_ms: float, arrival_ms: float, completion_ms: float) -> None:
         self.latency.record(latency_ms)
         self.request_arrivals.append(float(arrival_ms))
+        self.request_latencies.append(float(latency_ms))
         self.bump("requests")
         if self.first_arrival_ms is None or arrival_ms < self.first_arrival_ms:
             self.first_arrival_ms = float(arrival_ms)
@@ -116,9 +203,7 @@ class MetricsRegistry:
             self.last_completion_ms = float(completion_ms)
 
     def record_client(self, client_id: int) -> None:
-        self.client_requests[int(client_id)] = (
-            self.client_requests.get(int(client_id), 0) + 1
-        )
+        self.telemetry.counter(CLIENT_REQUESTS_METRIC, client=str(int(client_id))).inc()
 
     def record_failover(self, latency_ms: float) -> None:
         """One read failed over to another replica (or emergency-restarted)."""
@@ -131,22 +216,19 @@ class MetricsRegistry:
 
     def record_replica_request(self, shard_id: int, replica_id: int, amount: int = 1) -> None:
         key = f"{int(shard_id)}:{int(replica_id)}"
-        self.replica_requests[key] = self.replica_requests.get(key, 0) + int(amount)
+        self.telemetry.counter(REPLICA_REQUESTS_METRIC, replica=key).inc(int(amount))
 
     def record_maintenance(self, tier: str, start_ms: float, end_ms: float) -> None:
         """Background maintenance of ``tier`` ran over ``[start_ms, end_ms]``."""
         self.maintenance_windows.append((str(tier), float(start_ms), float(end_ms)))
-        self.maintenance_device_ms[str(tier)] = self.maintenance_device_ms.get(
-            str(tier), 0.0
-        ) + (float(end_ms) - float(start_ms))
+        self.telemetry.counter(MAINTENANCE_DEVICE_METRIC, tier=str(tier)).inc(
+            float(end_ms) - float(start_ms)
+        )
 
     def record_shard_batch(self, shard_id: int, batch_size: int, busy_ms: float) -> None:
-        self.shard_requests[int(shard_id)] = (
-            self.shard_requests.get(int(shard_id), 0) + int(batch_size)
-        )
-        self.shard_busy_ms[int(shard_id)] = (
-            self.shard_busy_ms.get(int(shard_id), 0.0) + float(busy_ms)
-        )
+        shard = str(int(shard_id))
+        self.telemetry.counter(SHARD_REQUESTS_METRIC, shard=shard).inc(int(batch_size))
+        self.telemetry.counter(SHARD_BUSY_METRIC, shard=shard).inc(float(busy_ms))
         self.bump("batches")
 
     # --------------------------------------------------------------- reduction
@@ -176,14 +258,16 @@ class MetricsRegistry:
         return np.asarray(list(per_shard.values()))
 
     def request_skew(self) -> float:
-        if not self.shard_requests:
+        shard_requests = self.shard_requests
+        if not shard_requests:
             return 1.0
-        return shard_skew(self._shard_loads(self.shard_requests))
+        return shard_skew(self._shard_loads(shard_requests))
 
     def busy_skew(self) -> float:
-        if not self.shard_busy_ms:
+        shard_busy_ms = self.shard_busy_ms
+        if not shard_busy_ms:
             return 1.0
-        return shard_skew(self._shard_loads(self.shard_busy_ms))
+        return shard_skew(self._shard_loads(shard_busy_ms))
 
     def replica_skew(self) -> float:
         """Load imbalance across the replicas that served at least one request.
@@ -192,9 +276,10 @@ class MetricsRegistry:
         in the denominator; :meth:`ReplicatedShardRouter.replica_load_skew`
         reports the membership-aware figure.
         """
-        if not self.replica_requests:
+        replica_requests = self.replica_requests
+        if not replica_requests:
             return 1.0
-        return shard_skew(np.asarray(list(self.replica_requests.values())))
+        return shard_skew(np.asarray(list(replica_requests.values())))
 
     def latency_during_maintenance(self, q: float = 99.0) -> float:
         """Latency percentile of the requests that arrived while background
@@ -203,7 +288,8 @@ class MetricsRegistry:
         This is the number the tier policy is judged by: incremental
         compaction and double-buffered rebuilds should leave the tail of
         concurrent foreground requests where it was, while a stop-the-world
-        rebuild drags it up.
+        rebuild drags it up.  Reduced over the exact per-request log (not the
+        bucketed histogram) so the answer stays sample-exact.
         """
         if not self.maintenance_windows or not self.request_arrivals:
             return float("nan")
@@ -213,7 +299,8 @@ class MetricsRegistry:
             in_window |= (arrivals >= start) & (arrivals <= end)
         if not in_window.any():
             return float("nan")
-        return float(np.percentile(self.latency.samples[in_window], q))
+        latencies = np.asarray(self.request_latencies, dtype=np.float64)
+        return float(np.percentile(latencies[in_window], q))
 
     @property
     def unavailable_ms(self) -> float:
@@ -246,9 +333,10 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """Flat report of the registry, as consumed by the serving experiment."""
+        counters = self.counters
         snapshot = {
-            "requests": self.counters.get("requests", 0),
-            "batches": self.counters.get("batches", 0),
+            "requests": counters.get("requests", 0),
+            "batches": counters.get("batches", 0),
             "span_ms": self.span_ms,
             "throughput_per_s": self.throughput_per_s,
             "latency_p50_ms": self.latency.percentile(50.0),
@@ -258,10 +346,11 @@ class MetricsRegistry:
             "request_skew": self.request_skew(),
             "busy_skew": self.busy_skew(),
         }
-        if self.client_requests:
-            snapshot["unique_clients"] = len(self.client_requests)
+        client_requests = self.client_requests
+        if client_requests:
+            snapshot["unique_clients"] = len(client_requests)
             snapshot["client_skew"] = shard_skew(
-                np.asarray(list(self.client_requests.values()))
+                np.asarray(list(client_requests.values()))
             )
         if self.replica_requests:
             snapshot["replica_skew"] = self.replica_skew()
@@ -278,7 +367,7 @@ class MetricsRegistry:
             p99_maintenance = self.latency_during_maintenance(99.0)
             if not np.isnan(p99_maintenance):
                 snapshot["latency_p99_during_maintenance_ms"] = p99_maintenance
-        for counter, value in sorted(self.counters.items()):
+        for counter, value in sorted(counters.items()):
             if counter not in ("requests", "batches"):
                 snapshot[counter] = value
         return snapshot

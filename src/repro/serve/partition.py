@@ -29,6 +29,14 @@ class Partitioner(ABC):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.num_shards = int(num_shards)
+        #: Optional telemetry counter (keys routed); the serving deployment
+        #: binds a labeled `repro.obs` counter here.  ``None`` keeps routing
+        #: observability-free at the cost of one attribute test per batch.
+        self.route_counter = None
+
+    def _count_routed(self, num_keys: int) -> None:
+        if self.route_counter is not None:
+            self.route_counter.inc(int(num_keys))
 
     @abstractmethod
     def shard_of(self, keys: np.ndarray) -> np.ndarray:
@@ -94,6 +102,7 @@ class RangePartitioner(Partitioner):
 
     def shard_of(self, keys: np.ndarray) -> np.ndarray:
         keys = np.asarray(keys).astype(np.uint64)
+        self._count_routed(keys.shape[0])
         return np.searchsorted(self.boundaries, keys, side="right").astype(np.int64)
 
     def shards_for_range(self, low: int, high: int) -> np.ndarray:
@@ -124,6 +133,7 @@ class HashPartitioner(Partitioner):
 
     def shard_of(self, keys: np.ndarray) -> np.ndarray:
         keys = np.asarray(keys).astype(np.uint64)
+        self._count_routed(keys.shape[0])
         with np.errstate(over="ignore"):
             mixed = keys * _FIBONACCI_MULTIPLIER
         return ((mixed >> np.uint64(33)) % np.uint64(self.num_shards)).astype(np.int64)

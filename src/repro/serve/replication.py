@@ -55,6 +55,7 @@ from repro.gpu.cost_model import CostModel
 from repro.gpu.device import RTX_4090, GpuDevice
 from repro.gpu.kernels import KernelStats, combine
 from repro.gpu.memory import MemoryFootprint
+from repro.obs.trace import NULL_TRACER
 from repro.serve.router import ShardFactory, ShardRouter, apply_update_to_entries
 from repro.workloads.keygen import KeySet
 
@@ -209,6 +210,10 @@ class ReplicaGroup:
 
         #: Telemetry sink; the deployment points this at its registry.
         self.metrics = None
+        #: Span sink; the deployment points this at its tracer.  The default
+        #: is the shared disabled tracer, so every emission site is a cheap
+        #: ``enabled`` check.
+        self.tracer = NULL_TRACER
         self.counters: Dict[str, int] = {}
         #: Closed unavailability windows ``(start_ms, end_ms)``.
         self.unavailability_windows: List[Tuple[float, float]] = []
@@ -451,9 +456,25 @@ class ReplicaGroup:
         return replica
 
     def _serve_read(self, call, num_requests: int):
-        """Pick a replica, failing over past transient errors, and call it."""
+        """Pick a replica, failing over past transient errors, and call it.
+
+        When a tracer is armed, every attempt emits a span on the simulated
+        timeline: failed attempts as ``replica.attempt`` (failover penalty),
+        emergency restarts as ``replica.restart``, and the serving attempt as
+        ``replica.read`` with a child ``engine.lookup`` span for the device
+        kernel itself.  Spans attach to whatever span is active on the
+        tracer's context stack (the router's batch span), so a request trace
+        reaches from the coalescer down to the engine.  None of this changes
+        counters or answers: tracing is behavior-neutral by construction.
+        """
         self.last_overhead_ms = 0.0
         self.last_slow_factor = 1.0
+        tracer = self.tracer
+        traced = tracer.enabled
+        base_ms = 0.0
+        if traced:
+            context = tracer.current
+            base_ms = context.start_ms if context is not None else self.clock.now_ms
         tried: List[int] = []
         while True:
             candidates = self._read_candidates(exclude=tried)
@@ -461,6 +482,15 @@ class ReplicaGroup:
                 if tried:  # every available replica errored: retry the round
                     tried = []
                     continue
+                if traced:
+                    tracer.record_span(
+                        "replica.restart",
+                        base_ms + self.last_overhead_ms,
+                        self.config.restart_penalty_ms,
+                        category="replication",
+                        lane=f"shard-{self.shard_id}",
+                        shard=self.shard_id,
+                    )
                 replica = self._emergency_restart()
             else:
                 replica = self._choose(candidates)
@@ -469,20 +499,54 @@ class ReplicaGroup:
                 tried.append(replica.replica_id)
                 self._bump("failovers")
                 self._bump("transient_errors")
+                if traced:
+                    tracer.record_span(
+                        "replica.attempt",
+                        base_ms + self.last_overhead_ms,
+                        self.config.failover_penalty_ms,
+                        category="replication",
+                        lane=f"shard-{self.shard_id}",
+                        shard=self.shard_id,
+                        replica=replica.replica_id,
+                        outcome="transient_error",
+                    )
                 self.last_overhead_ms += self.config.failover_penalty_ms
                 if self.metrics is not None:
                     self.metrics.record_failover(self.config.failover_penalty_ms)
                 continue
             result = call(replica.index)
             self.last_slow_factor = replica.slow_factor
+            kernel_ms = self.cost_model.kernel_time_ms(result.stats)
             replica.reads_served += int(num_requests)
-            replica.busy_ms += (
-                self.cost_model.kernel_time_ms(result.stats) * replica.slow_factor
-            )
+            replica.busy_ms += kernel_ms * replica.slow_factor
             self._bump("reads", num_requests)
             if self.metrics is not None:
                 self.metrics.record_replica_request(
                     self.shard_id, replica.replica_id, num_requests
+                )
+            if traced:
+                read_span = tracer.record_span(
+                    "replica.read",
+                    base_ms + self.last_overhead_ms,
+                    kernel_ms * replica.slow_factor,
+                    category="replication",
+                    lane=f"shard-{self.shard_id}",
+                    shard=self.shard_id,
+                    replica=replica.replica_id,
+                    slow_factor=replica.slow_factor,
+                    batch_size=num_requests,
+                )
+                tracer.record_span(
+                    "engine.lookup",
+                    base_ms + self.last_overhead_ms,
+                    kernel_ms,
+                    category="device",
+                    lane=f"shard-{self.shard_id}",
+                    parent=read_span,
+                    shard=self.shard_id,
+                    replica=replica.replica_id,
+                    engine=getattr(replica.index, "engine", None)
+                    or getattr(getattr(replica.index, "config", None), "engine", None),
                 )
             return result
 

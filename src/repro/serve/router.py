@@ -30,6 +30,7 @@ from repro.baselines.base import (
 from repro.core.config import validate_engine
 from repro.gpu.device import RTX_4090, GpuDevice
 from repro.gpu.kernels import KernelStats, combine
+from repro.obs.trace import NULL_TRACER
 from repro.serve.partition import Partitioner, make_partitioner
 from repro.workloads.keygen import KeySet
 
@@ -150,6 +151,9 @@ class ShardRouter:
             self._build_shard(shard)
             self.shards.append(shard)
 
+        #: Span sink; the deployment points this at its tracer (the shared
+        #: disabled tracer by default, so emission sites cost one flag check).
+        self.tracer = NULL_TRACER
         #: Per-shard breakdown of the most recent scattered call.
         self.last_calls: List[ShardCall] = []
         #: Largest deployment footprint observed during a rebuild — for
@@ -346,20 +350,54 @@ class ShardRouter:
         parts: List[KernelStats] = [self._routing_stats(num)]
         self.last_calls = []
 
-        if num:
-            shard_ids = self.partitioner.shard_of(keys)
-            for shard_id in np.unique(shard_ids):
-                member = np.where(shard_ids == shard_id)[0]
-                shard = self.shards[int(shard_id)]
-                if shard.index is None:
-                    continue
-                result = shard.index.point_lookup_batch(keys[member])
-                row_agg[member] = result.row_ids
-                counts[member] = result.match_counts
-                parts.append(result.stats)
-                self.last_calls.append(
-                    ShardCall(int(shard_id), int(member.shape[0]), result.stats)
-                )
+        tracer = self.tracer
+        scatter_span = None
+        if tracer.enabled:
+            now_ms = tracer.clock.now_ms if tracer.clock is not None else 0.0
+            scatter_span = tracer.push_span(
+                "router.scatter",
+                now_ms,
+                category="router",
+                lane="router",
+                batch_size=num,
+                engine=self.engine,
+                partitioner=self.partitioner.kind,
+            )
+        try:
+            if num:
+                shard_ids = self.partitioner.shard_of(keys)
+                for shard_id in np.unique(shard_ids):
+                    member = np.where(shard_ids == shard_id)[0]
+                    shard = self.shards[int(shard_id)]
+                    if shard.index is None:
+                        continue
+                    result = shard.index.point_lookup_batch(keys[member])
+                    row_agg[member] = result.row_ids
+                    counts[member] = result.match_counts
+                    parts.append(result.stats)
+                    self.last_calls.append(
+                        ShardCall(int(shard_id), int(member.shape[0]), result.stats)
+                    )
+                    if scatter_span is not None:
+                        # Shards answer concurrently: the scatter/gather span
+                        # covers the slowest shard call of the batch.
+                        shard_ms = shard.index.lookup_time_ms(result)
+                        scatter_span.duration_ms = max(
+                            scatter_span.duration_ms, shard_ms
+                        )
+                        tracer.record_span(
+                            "router.shard_call",
+                            scatter_span.start_ms,
+                            shard_ms,
+                            category="router",
+                            lane=f"shard-{int(shard_id)}",
+                            parent=scatter_span,
+                            shard=int(shard_id),
+                            batch_size=int(member.shape[0]),
+                        )
+        finally:
+            if scatter_span is not None:
+                tracer.pop()
         stats = combine("serve.point_lookup", parts)
         return LookupResult(row_ids=row_agg, match_counts=counts, stats=stats)
 
@@ -388,18 +426,49 @@ class ShardRouter:
                 for shard_id in self.partitioner.shards_for_range(int(lows[position]), int(highs[position])):
                     per_shard.setdefault(int(shard_id), []).append(position)
 
+        tracer = self.tracer
+        scatter_span = None
+        if tracer.enabled:
+            now_ms = tracer.clock.now_ms if tracer.clock is not None else 0.0
+            scatter_span = tracer.push_span(
+                "router.scatter",
+                now_ms,
+                category="router",
+                lane="router",
+                batch_size=num,
+                engine=self.engine,
+                partitioner=self.partitioner.kind,
+                kind="range",
+            )
         collected: List[List[np.ndarray]] = [[] for _ in range(num)]
-        for shard_id in sorted(per_shard):
-            shard = self.shards[shard_id]
-            if shard.index is None:
-                continue
-            positions = per_shard[shard_id]
-            result = shard.index.range_lookup_batch(lows[positions], highs[positions])
-            for offset, position in enumerate(positions):
-                if result.row_ids[offset].shape[0]:
-                    collected[position].append(result.row_ids[offset])
-            parts.append(result.stats)
-            self.last_calls.append(ShardCall(shard_id, len(positions), result.stats))
+        try:
+            for shard_id in sorted(per_shard):
+                shard = self.shards[shard_id]
+                if shard.index is None:
+                    continue
+                positions = per_shard[shard_id]
+                result = shard.index.range_lookup_batch(lows[positions], highs[positions])
+                for offset, position in enumerate(positions):
+                    if result.row_ids[offset].shape[0]:
+                        collected[position].append(result.row_ids[offset])
+                parts.append(result.stats)
+                self.last_calls.append(ShardCall(shard_id, len(positions), result.stats))
+                if scatter_span is not None:
+                    shard_ms = shard.index.lookup_time_ms(result)
+                    scatter_span.duration_ms = max(scatter_span.duration_ms, shard_ms)
+                    tracer.record_span(
+                        "router.shard_call",
+                        scatter_span.start_ms,
+                        shard_ms,
+                        category="router",
+                        lane=f"shard-{shard_id}",
+                        parent=scatter_span,
+                        shard=shard_id,
+                        batch_size=len(positions),
+                    )
+        finally:
+            if scatter_span is not None:
+                tracer.pop()
 
         row_ids = [
             np.concatenate(pieces) if pieces else np.empty(0, dtype=np.uint32)

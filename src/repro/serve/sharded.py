@@ -30,6 +30,7 @@ from repro.baselines.sorted_array import SortedArrayIndex
 from repro.gpu.device import RTX_4090, GpuDevice
 from repro.gpu.kernels import KernelStats, combine
 from repro.gpu.memory import MemoryFootprint
+from repro.obs.trace import Tracer
 from repro.serve.batching import BatchPolicy, BatchScheduler
 from repro.serve.cache import ResultCache
 from repro.serve.maintenance import MaintenancePolicy, MaintenanceWorker
@@ -85,6 +86,14 @@ class ServeConfig:
     #: Scatter/gather execution engine of the shard router: ``"vector"``
     #: (batched span computation) or ``"scalar"``; answers are identical.
     engine: str = "vector"
+    #: Arm the request tracer: every served request, batch execution,
+    #: replica read/failover and maintenance window records a span on the
+    #: simulated clock (exportable as Chrome trace-event JSON).  Tracing is
+    #: behavior-neutral: answers and metrics are byte-identical either way.
+    tracing: bool = False
+    #: Period (simulated ms) of time-series telemetry snapshots during
+    #: serving; 0 disables sampling.
+    telemetry_sample_interval_ms: float = 0.0
 
     def describe(self) -> str:
         cache = f"cache={self.cache_capacity}" if self.cache_capacity else "no-cache"
@@ -182,9 +191,23 @@ class ShardedIndex(GpuIndex):
             ),
             cache=self.cache,
         )
+        #: Request tracer on the simulated clock (spans only when armed via
+        #: ``ServeConfig.tracing`` or by flipping ``tracer.enabled``).
+        self.tracer = Tracer(clock=self.clock, enabled=self.config.tracing)
+        self.router.tracer = self.tracer
         #: Cumulative telemetry over every served stream (serve_stream default).
         self.metrics = MetricsRegistry(num_shards=self.config.num_shards)
+        if self.config.telemetry_sample_interval_ms > 0.0:
+            self.metrics.telemetry.sample_interval_ms = (
+                self.config.telemetry_sample_interval_ms
+            )
+        self.router.partitioner.route_counter = self.metrics.telemetry.counter(
+            "serve_partition_keys_routed_total", kind=self.router.partitioner.kind
+        )
         self._bind_group_metrics(self.metrics)
+        #: Trace ids of in-flight requests (cache-miss probes recorded before
+        #: the batch that answers the request completes the trace).
+        self._request_trace_ids = {}
         #: Batch results awaiting their simulated completion time (serve_stream).
         self._pending_fills = []
         #: Per-request answers of the last ``serve_stream(record_answers=True)``.
@@ -292,9 +315,11 @@ class ShardedIndex(GpuIndex):
         registry gets the failover, availability and maintenance-window
         records too (not just request latency)."""
         self.maintenance.metrics = metrics
+        self.maintenance.tracer = self.tracer
         if isinstance(self.router, ReplicatedShardRouter):
             for group in self.router.groups.values():
                 group.metrics = metrics
+                group.tracer = self.tracer
 
     def _poll_failures(self, now_ms: float) -> None:
         """Advance the clock; apply due failure transitions; heal off-path."""
@@ -377,7 +402,10 @@ class ShardedIndex(GpuIndex):
         )
         metrics = metrics or self.metrics
         self._bind_group_metrics(metrics)
-        scheduler = BatchScheduler(policy)
+        scheduler = BatchScheduler(policy, telemetry=metrics.telemetry)
+        tracer = self.tracer
+        telemetry = metrics.telemetry
+        self._request_trace_ids = {}
         keys = np.asarray(stream.keys, dtype=self._key_dtype)
         shard_of = self.router.partitioner.shard_of(keys)
         # Batch results become cacheable only at the batch's simulated
@@ -392,6 +420,8 @@ class ShardedIndex(GpuIndex):
         last_arrival = 0.0
         for request_id, arrival_ms, key in stream:
             last_arrival = arrival_ms
+            if telemetry.sample_interval_ms:
+                telemetry.maybe_sample(arrival_ms)
             self._poll_failures(arrival_ms)
             # Dispatch batches whose wait deadline has passed — even when this
             # request itself will be answered from cache — then make their
@@ -409,11 +439,48 @@ class ShardedIndex(GpuIndex):
                     metrics.bump(
                         "cache_hits" if entry.match_count > 0 else "cache_negative_hits"
                     )
+                    if tracer.enabled:
+                        trace_id = tracer.new_trace_id()
+                        root = tracer.emit(
+                            "request",
+                            arrival_ms,
+                            self.config.cache_latency_ms,
+                            "request",
+                            "requests",
+                            trace_id,
+                            None,
+                            {"request_id": request_id, "cache_hit": True},
+                        )
+                        tracer.emit(
+                            "cache.probe",
+                            arrival_ms,
+                            self.config.cache_latency_ms,
+                            "cache",
+                            "cache",
+                            trace_id,
+                            root.span_id,
+                            {"hit": True, "negative": entry.match_count == 0},
+                        )
                     if self._answer_sink is not None:
                         self._answer_sink[0][request_id] = entry.row_agg
                         self._answer_sink[1][request_id] = entry.match_count
                     continue
                 metrics.bump("cache_misses")
+                if tracer.enabled:
+                    # The miss probe joins the request's trace; the root span
+                    # is recorded when the batch carrying it completes.
+                    trace_id = tracer.new_trace_id()
+                    self._request_trace_ids[request_id] = trace_id
+                    tracer.emit(
+                        "cache.probe",
+                        arrival_ms,
+                        0.0,
+                        "cache",
+                        "cache",
+                        trace_id,
+                        None,
+                        {"request_id": request_id, "hit": False},
+                    )
             due = scheduler.offer(int(shard_of[request_id]), request_id, key, arrival_ms)
             self._execute_batches(due, metrics, client_ids=stream.client_ids)
 
@@ -424,6 +491,10 @@ class ShardedIndex(GpuIndex):
             client_ids=stream.client_ids,
         )
         self._commit_pending_fills(float("inf"))
+        if self.cache is not None:
+            self.cache.publish_telemetry(telemetry)
+        if telemetry.sample_interval_ms:
+            telemetry.sample(self.clock.now_ms)
         if isinstance(self.router, ReplicatedShardRouter):
             # Outages still in progress count against this stream's
             # availability up to the point serving stopped.
@@ -450,6 +521,7 @@ class ShardedIndex(GpuIndex):
         self._pending_fills = remaining
 
     def _execute_batches(self, batches, metrics: MetricsRegistry, client_ids=None) -> None:
+        tracer = self.tracer
         for batch in batches:
             shard = self.router.shards[batch.shard_id]
             batch_keys = batch.keys.astype(self._key_dtype)
@@ -457,6 +529,28 @@ class ShardedIndex(GpuIndex):
                 row_agg = np.full(batch.size, -1, dtype=np.int64)
                 counts = np.zeros(batch.size, dtype=np.int64)
                 exec_ms = 0.0
+            elif tracer.enabled:
+                # The batch span is the propagation context: replica reads
+                # and engine kernels recorded below it become its children.
+                batch_span = tracer.push_span(
+                    "batch.execute",
+                    batch.dispatch_ms,
+                    category="router",
+                    lane=f"shard-{batch.shard_id}",
+                    shard=batch.shard_id,
+                    batch_size=batch.size,
+                    reason=batch.reason,
+                    engine=self.config.engine,
+                    epoch=getattr(shard.index, "epoch", None),
+                )
+                try:
+                    result = shard.index.point_lookup_batch(batch_keys)
+                finally:
+                    tracer.pop()
+                row_agg = result.row_ids
+                counts = result.match_counts
+                exec_ms = shard.index.lookup_time_ms(result)
+                batch_span.duration_ms = exec_ms
             else:
                 result = shard.index.point_lookup_batch(batch_keys)
                 row_agg = result.row_ids
@@ -466,12 +560,81 @@ class ShardedIndex(GpuIndex):
             if self._answer_sink is not None:
                 self._answer_sink[0][batch.request_ids] = row_agg
                 self._answer_sink[1][batch.request_ids] = counts
+            overhead_ms = (
+                float(getattr(shard.index, "last_overhead_ms", 0.0))
+                if shard.index is not None
+                else 0.0
+            )
+            device_ms = exec_ms - overhead_ms
             for position in range(batch.size):
                 arrival = float(batch.arrival_ms[position])
                 metrics.record_request(completion_ms - arrival, arrival, completion_ms)
                 if client_ids is not None:
                     metrics.record_client(int(client_ids[batch.request_ids[position]]))
+            if tracer.enabled:
+                self._trace_batch_requests(
+                    tracer, batch, completion_ms, device_ms, overhead_ms
+                )
             metrics.record_shard_batch(batch.shard_id, batch.size, exec_ms)
             metrics.bump(f"batches_{batch.reason}")
             if self.cache is not None:
                 self._pending_fills.append((completion_ms, batch_keys, row_agg, counts))
+
+    def _trace_batch_requests(
+        self, tracer, batch, completion_ms, device_ms, overhead_ms
+    ) -> None:
+        """Emit the per-request stage spans of one completed batch.
+
+        Stage attribute dicts are built once per batch and shared across its
+        requests (spans never mutate attributes after emission), and spans go
+        through :meth:`Tracer.emit` directly — this loop runs once per served
+        request and dominates the traced path's cost.
+        """
+        emit = tracer.emit
+        new_trace_id = tracer.new_trace_id
+        pending = self._request_trace_ids
+        shard_id = batch.shard_id
+        size = batch.size
+        engine = self.config.engine
+        dispatch_ms = batch.dispatch_ms
+        request_ids = batch.request_ids.tolist()
+        arrivals = batch.arrival_ms.tolist()
+        wait_attrs = {"shard": shard_id, "reason": batch.reason}
+        device_attrs = {"shard": shard_id, "batch_size": size, "engine": engine}
+        failover_attrs = {"shard": shard_id}
+        failover_start = dispatch_ms + device_ms
+        for position in range(size):
+            request_id = request_ids[position]
+            arrival = arrivals[position]
+            trace_id = pending.pop(request_id, None)
+            if trace_id is None:
+                trace_id = new_trace_id()
+            root = emit(
+                "request",
+                arrival,
+                completion_ms - arrival,
+                "request",
+                "requests",
+                trace_id,
+                None,
+                {
+                    "request_id": request_id,
+                    "shard": shard_id,
+                    "batch_size": size,
+                    "engine": engine,
+                },
+            )
+            root_id = root.span_id
+            emit(
+                "queue.wait", arrival, dispatch_ms - arrival,
+                "serve", "requests", trace_id, root_id, wait_attrs,
+            )
+            emit(
+                "device.execute", dispatch_ms, device_ms,
+                "device", "requests", trace_id, root_id, device_attrs,
+            )
+            if overhead_ms > 0.0:
+                emit(
+                    "replica.failover", failover_start, overhead_ms,
+                    "replication", "requests", trace_id, root_id, failover_attrs,
+                )

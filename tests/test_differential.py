@@ -97,16 +97,22 @@ class Oracle:
 class SubjectUnderTest:
     """One fuzzed configuration: a bare index or a served deployment."""
 
-    def __init__(self, name: str, keys: np.ndarray, row_ids: np.ndarray) -> None:
+    def __init__(
+        self, name: str, keys: np.ndarray, row_ids: np.ndarray, tracing: bool = False
+    ) -> None:
         self.name = name
-        self.index = self._build(name, keys, row_ids)
+        self.index = self._build(name, keys, row_ids, tracing)
 
-    def _build(self, name, keys, row_ids):
+    def _build(self, name, keys, row_ids, tracing):
         if name == "sharded":
             # Rebuild-fallback shards plus the result cache (invalidation on
             # the update path is part of what the fuzz checks).
             config = ServeConfig(
-                num_shards=4, partitioner="range", key_bits=32, cache_capacity=256
+                num_shards=4,
+                partitioner="range",
+                key_bits=32,
+                cache_capacity=256,
+                tracing=tracing,
             )
             return ShardedIndex(keys, row_ids, factory=sorted_array_factory(), config=config)
         if name == "replicated":
@@ -116,6 +122,7 @@ class SubjectUnderTest:
                 key_bits=32,
                 cache_capacity=256,
                 replication_factor=3,
+                tracing=tracing,
             )
             return ShardedIndex(keys, row_ids, factory=cgrxu_factory(128), config=config)
         keyset = KeySet(
@@ -161,14 +168,20 @@ def _absent_keys(rng, oracle: Oracle, count: int) -> np.ndarray:
     return absent[:count]
 
 
-def run_fuzz(config_name: str, seed: int, steps: int = 24, initial_keys: int = 1024):
+def run_fuzz(
+    config_name: str,
+    seed: int,
+    steps: int = 24,
+    initial_keys: int = 1024,
+    tracing: bool = False,
+):
     rng = np.random.default_rng(seed)
     keys = rng.integers(0, KEYSPACE, size=initial_keys, dtype=np.uint64).astype(np.uint32)
     next_row = initial_keys
     row_ids = np.arange(initial_keys, dtype=np.uint32)
 
     oracle = Oracle(keys, row_ids)
-    subject = SubjectUnderTest(config_name, keys, row_ids)
+    subject = SubjectUnderTest(config_name, keys, row_ids, tracing=tracing)
 
     # The replicated configuration runs under failure weather: crash, slow
     # and transient events fire between ops as the simulated clock advances.
@@ -298,3 +311,25 @@ def test_differential_fuzz_replicated_sees_failures():
     snapshot = subject.index.replication_snapshot()
     assert snapshot["crashes"] >= 1
     assert subject.index.failures is not None and subject.index.failures.log
+
+
+def test_differential_fuzz_replicated_traced_is_behavior_neutral():
+    """Tracing must never change an answer or a counter.
+
+    The same seeded replicated fuzz run (failure weather, updates,
+    compaction) passes its oracle checks with tracing on, actually records
+    spans, and ends with the same replication counters and metrics counters
+    as the untraced run.
+    """
+    traced, _ = run_fuzz("replicated", seed=20250808, tracing=True)
+    untraced, _ = run_fuzz("replicated", seed=20250808)
+    assert traced.index.tracer.spans, "traced run recorded no spans"
+    assert not untraced.index.tracer.spans
+    assert (
+        traced.index.replication_snapshot() == untraced.index.replication_snapshot()
+    )
+    assert traced.index.metrics.counters == untraced.index.metrics.counters
+    # repr-compare so NaN latency reductions (no served stream here) match.
+    assert repr(traced.index.metrics.snapshot()) == repr(
+        untraced.index.metrics.snapshot()
+    )
