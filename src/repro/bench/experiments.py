@@ -1641,6 +1641,262 @@ def observability(
 
 
 # --------------------------------------------------------------------------
+# Adaptive serving: dynamic resharding + multi-tenant QoS under hostile load
+# --------------------------------------------------------------------------
+
+
+def adaptive(
+    num_keys: int = 20_000,
+    num_requests: int = 24_000,
+    num_phases: int = 4,
+    requests_per_ms: float = 800.0,
+    num_shards: int = 4,
+    reshard_interval_ms: float = 2.0,
+    reshard_max_shards: int = 32,
+    max_batch_size: int = 4096,
+    max_wait_ms: float = 0.01,
+    tenant_duration_ms: float = 100.0,
+    quick: bool = False,
+    seed: int = 71,
+) -> ExperimentResult:
+    """Adaptive serving under hostile workloads.  Three panels:
+
+    * ``a_hotspot_migration`` — a contiguous hotspot window sweeping across
+      the sorted keyspace at a rate that saturates whichever shard it lands
+      on.  A static range partition flattens (the hot shard's device queue
+      backs up, p99 explodes); hash placement spreads the hotspot but gives
+      up range locality; the adaptive range deployment splits the hot shard
+      within a couple of policy windows and merges the cold remainder back,
+      holding p99 with **zero** unavailability windows — topology changes
+      ride the epoch snapshot/double-buffer lifecycle, so no request is lost
+      or misrouted.
+    * ``b_multi_tenant_qos`` — a bursty flooding tenant against a
+      well-behaved high-priority tenant, served with admission control off
+      and on.  With QoS on, the flood is shed at its token-bucket rate limit
+      (an explicit, observable answer recorded in telemetry) and the
+      well-behaved tenant's p99 is insulated.
+    * ``c_range_hammer`` — worst-case range-partition traffic (90% of the
+      requests on one thin keyspace slice) with negative int64 keys mixed
+      in: the signed-key routing fix must answer them as deterministic
+      misses, never wrap them onto the top shard.
+
+    Every served row is oracle-checked: answers must be byte-identical to a
+    single-instance sorted-array reference (shed requests excluded — they
+    were never served, by design — and negative keys expected as misses).
+    """
+    from repro.baselines.sorted_array import SortedArrayIndex
+    from repro.serve.qos import TenantQoS
+    from repro.serve.sharded import ServeConfig, ShardedIndex
+    from repro.workloads.adversarial import (
+        TenantSpec,
+        multi_tenant_stream,
+        range_hammer_stream,
+        shifting_hotspot_stream,
+    )
+
+    if quick:
+        num_keys = min(num_keys, 8_000)
+        num_requests = min(num_requests, 8_000)
+        tenant_duration_ms = min(tenant_duration_ms, 40.0)
+
+    result = ExperimentResult(
+        name="adaptive",
+        description="Adaptive resharding + per-tenant QoS under hostile workloads",
+        parameters={
+            "num_keys": num_keys,
+            "num_requests": num_requests,
+            "num_phases": num_phases,
+            "requests_per_ms": requests_per_ms,
+            "num_shards": num_shards,
+            "reshard_interval_ms": reshard_interval_ms,
+            "reshard_max_shards": reshard_max_shards,
+            "quick": quick,
+        },
+    )
+    keyset = generate_keys(num_keys, uniformity=0.5, key_bits=64, seed=seed)
+    oracle = SortedArrayIndex(keyset.keys, keyset.row_ids, key_bits=64)
+
+    def oracle_check(served, stream, expected=None):
+        """Byte-identical check against the oracle, skipping shed requests."""
+        if expected is None:
+            expected = oracle.point_lookup_batch(
+                np.maximum(stream.keys, 0).astype(np.uint64)
+            )
+        rows, counts = served.last_answers
+        expected_rows = expected.row_ids.astype(np.int64)
+        expected_counts = expected.match_counts.astype(np.int64)
+        if stream.keys.dtype.kind == "i":
+            # Negative keys sort below the unsigned keyspace: definitional
+            # misses, whatever key 0 happens to hold.
+            negative = stream.keys < 0
+            expected_rows = np.where(negative, -1, expected_rows)
+            expected_counts = np.where(negative, 0, expected_counts)
+        shed = served.last_shed
+        if shed is not None and shed.any():
+            keep = ~shed
+            shed_untouched = bool(
+                np.all(rows[shed] == -1) and np.all(counts[shed] == 0)
+            )
+            return bool(
+                shed_untouched
+                and rows[keep].tobytes() == expected_rows[keep].tobytes()
+                and counts[keep].tobytes() == expected_counts[keep].tobytes()
+            )
+        return bool(
+            rows.tobytes() == expected_rows.tobytes()
+            and counts.tobytes() == expected_counts.tobytes()
+        )
+
+    # (a) Hotspot migration: static range vs static hash vs adaptive range.
+    hotspot = shifting_hotspot_stream(
+        keyset,
+        num_requests,
+        num_phases=num_phases,
+        requests_per_ms=requests_per_ms,
+        seed=seed + 1,
+    )
+    expected_hotspot = oracle.point_lookup_batch(hotspot.keys.astype(np.uint64))
+    deployments = (
+        ("static_range", dict(partitioner="range")),
+        ("static_hash", dict(partitioner="hash")),
+        (
+            "adaptive_range",
+            dict(
+                partitioner="range",
+                reshard=True,
+                reshard_interval_ms=reshard_interval_ms,
+                reshard_max_shards=reshard_max_shards,
+                reshard_min_split_entries=64,
+            ),
+        ),
+    )
+    for policy, knobs in deployments:
+        config = ServeConfig(
+            num_shards=num_shards,
+            key_bits=64,
+            cache_capacity=0,  # every request exercises a shard (oracle 1:1)
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            **knobs,
+        )
+        served = ShardedIndex(keyset.keys, keyset.row_ids, config=config)
+        snapshot = served.serve_stream(hotspot, record_answers=True).snapshot()
+        maintenance = served.maintenance.snapshot()
+        result.add(
+            panel="a_hotspot_migration",
+            policy=policy,
+            requests=snapshot["requests"],
+            latency_p50_ms=snapshot["latency_p50_ms"],
+            latency_p99_ms=snapshot["latency_p99_ms"],
+            latency_max_ms=snapshot["latency_max_ms"],
+            request_skew=snapshot["request_skew"],
+            shards_final=served.router.num_shards,
+            splits=maintenance["splits_performed"],
+            merges=maintenance["merges_performed"],
+            reshard_ms=maintenance.get("maintenance_ms_reshard", 0.0),
+            unavailability_windows=len(served.metrics.unavailability_windows),
+            oracle_identical=oracle_check(served, hotspot, expected_hotspot),
+        )
+
+    # (b) Multi-tenant QoS: a bursty flood concentrated on the bottom
+    # quarter of the keyspace (one shard under the range partition, which it
+    # saturates during every burst) against a well-behaved tenant touching
+    # the whole keyspace — so the flood's device backlog is the victim
+    # tenant's problem too, unless admission control sheds it.
+    flood_rate = 2.0 * requests_per_ms
+    specs = (
+        TenantSpec(
+            tenant=1,
+            requests_per_ms=flood_rate,
+            # Nearly flat popularity: the flood cycles through its whole
+            # slice, so the result cache cannot absorb it.
+            zipf_coefficient=0.6,
+            keyspace=(0.0, 0.25),
+            burst_on_ms=20.0,
+            burst_off_ms=20.0,
+        ),
+        TenantSpec(
+            tenant=2,
+            requests_per_ms=flood_rate / 16.0,
+            zipf_coefficient=1.0,
+            keyspace=(0.0, 1.0),
+        ),
+    )
+    tenant_stream = multi_tenant_stream(
+        keyset, specs, duration_ms=tenant_duration_ms, seed=seed + 2
+    )
+    expected_tenants = oracle.point_lookup_batch(tenant_stream.keys.astype(np.uint64))
+    qos = (
+        TenantQoS(tenant=1, priority=0, rate_limit_per_ms=flood_rate / 8.0, cache_share=0.25),
+        TenantQoS(tenant=2, priority=2, cache_share=0.25),
+    )
+    for policy, tenants, max_queue_depth in (
+        ("no_qos", None, 0),
+        ("qos", qos, 512),
+    ):
+        config = ServeConfig(
+            num_shards=num_shards,
+            key_bits=64,
+            cache_capacity=1024,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            tenants=tenants,
+            max_queue_depth=max_queue_depth,
+        )
+        served = ShardedIndex(keyset.keys, keyset.row_ids, config=config)
+        snapshot = served.serve_stream(tenant_stream, record_answers=True).snapshot()
+        result.add(
+            panel="b_multi_tenant_qos",
+            policy=policy,
+            requests=snapshot["requests"],
+            flood_p99_ms=snapshot.get("tenant_1_p99_ms", snapshot["latency_p99_ms"]),
+            tenant_p99_ms=snapshot.get("tenant_2_p99_ms", snapshot["latency_p99_ms"]),
+            flood_served=snapshot.get("tenant_1_requests", snapshot["requests"]),
+            tenant_served=snapshot.get("tenant_2_requests", snapshot["requests"]),
+            requests_shed=snapshot.get("requests_shed", 0),
+            shed_rate_limit=snapshot.get("tenant_1_shed_rate_limit", 0),
+            oracle_identical=oracle_check(served, tenant_stream, expected_tenants),
+        )
+
+    # (c) Range hammer with negative int64 keys: static vs adaptive range.
+    hammer = range_hammer_stream(
+        keyset,
+        num_requests // 2,
+        requests_per_ms=requests_per_ms,
+        seed=seed + 3,
+    )
+    for policy, reshard in (("static_range", False), ("adaptive_range", True)):
+        config = ServeConfig(
+            num_shards=num_shards,
+            key_bits=64,
+            cache_capacity=0,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            reshard=reshard,
+            reshard_interval_ms=reshard_interval_ms,
+            reshard_max_shards=reshard_max_shards,
+            reshard_min_split_entries=64,
+        )
+        served = ShardedIndex(keyset.keys, keyset.row_ids, config=config)
+        snapshot = served.serve_stream(hammer, record_answers=True).snapshot()
+        maintenance = served.maintenance.snapshot()
+        result.add(
+            panel="c_range_hammer",
+            policy=policy,
+            requests=snapshot["requests"],
+            latency_p50_ms=snapshot["latency_p50_ms"],
+            latency_p99_ms=snapshot["latency_p99_ms"],
+            negative_key_misses=snapshot.get("negative_key_misses", 0),
+            shards_final=served.router.num_shards,
+            splits=maintenance["splits_performed"],
+            merges=maintenance["merges_performed"],
+            unavailability_windows=len(served.metrics.unavailability_windows),
+            oracle_identical=oracle_check(served, hammer),
+        )
+    return result
+
+
+# --------------------------------------------------------------------------
 # Running everything
 # --------------------------------------------------------------------------
 
@@ -1663,6 +1919,7 @@ ALL_EXPERIMENTS = {
     "hotpath": hotpath,
     "lifecycle": lifecycle,
     "obs": observability,
+    "adaptive": adaptive,
 }
 
 

@@ -182,10 +182,17 @@ class LogBucketHistogram:
 
         The representative is clipped into ``[min, max]`` so the answer is
         never outside the observed range; relative error versus the exact
-        sample percentile is bounded by ``sqrt(growth) - 1``.
+        sample percentile is bounded by ``sqrt(growth) - 1``.  The extreme
+        quantiles answer from the exact extrema the histogram already tracks:
+        a bucket representative for q=0/q=100 could still contradict them
+        (e.g. a sample just above a bucket edge reports p0 > min).
         """
         if self.count == 0:
             return float("nan")
+        if q <= 0.0:
+            return float(self.min)
+        if q >= 100.0:
+            return float(self.max)
         rank = (q / 100.0) * (self.count - 1)
         cumulative = np.cumsum(self.bucket_counts)
         position = int(np.searchsorted(cumulative, rank, side="right"))

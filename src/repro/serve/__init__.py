@@ -9,7 +9,10 @@ turns any of them into a served deployment:
   batches (the paper's lookups only amortise at large batch sizes),
 * :mod:`repro.serve.cache` — LRU result + negative cache with accounting,
 * :mod:`repro.serve.maintenance` — queueable background tasks that rebuild
-  degraded shards and resync recovered replicas off the request path,
+  degraded shards and resync recovered replicas off the request path, plus
+  the load-skew-driven shard split/merge policy,
+* :mod:`repro.serve.qos` — per-tenant admission control and load shedding
+  (token-bucket rate limits, saturation/overload backlog thresholds),
 * :mod:`repro.serve.replication` — per-shard replica groups: load-balanced
   reads, quorum-acknowledged write fan-out with apply logs, failure
   injection (crash/slow/transient) with automatic failover, and catch-up of
@@ -33,9 +36,16 @@ from repro.serve.maintenance import (
     MaintenanceQueue,
     MaintenanceTask,
     MaintenanceWorker,
+    ReshardPolicy,
     queueable,
 )
 from repro.serve.metrics import LatencyHistogram, MetricsRegistry, shard_skew
+from repro.serve.qos import (
+    UNLABELED_TENANT,
+    AdmissionController,
+    ShedDecision,
+    TenantQoS,
+)
 from repro.serve.partition import (
     HashPartitioner,
     Partitioner,
@@ -58,6 +68,7 @@ from repro.serve.router import ShardRouter
 from repro.serve.sharded import ServeConfig, ShardedIndex
 
 __all__ = [
+    "AdmissionController",
     "Batch",
     "BatchPolicy",
     "BatchScheduler",
@@ -80,11 +91,15 @@ __all__ = [
     "ReplicaGroup",
     "ReplicatedShardRouter",
     "ReplicationConfig",
+    "ReshardPolicy",
     "ResultCache",
     "ServeConfig",
     "ShardRouter",
     "ShardedIndex",
+    "ShedDecision",
     "SimulatedClock",
+    "TenantQoS",
+    "UNLABELED_TENANT",
     "make_partitioner",
     "queueable",
     "shard_skew",

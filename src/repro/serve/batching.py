@@ -54,6 +54,9 @@ class Batch:
     dispatch_ms: float
     #: Why the batch was dispatched (``"full"``, ``"timeout"`` or ``"drain"``).
     reason: str = "full"
+    #: Tenant label per request (``-1`` = unlabeled), aligned with ``keys``.
+    #: ``None`` when the stream carries no tenant labels at all.
+    tenant_ids: "np.ndarray | None" = None
 
     @property
     def size(self) -> int:
@@ -67,12 +70,13 @@ class Batch:
 class _ShardQueue:
     """Pending requests of one shard."""
 
-    __slots__ = ("keys", "request_ids", "arrival_ms")
+    __slots__ = ("keys", "request_ids", "arrival_ms", "tenant_ids")
 
     def __init__(self) -> None:
         self.keys: List[int] = []
         self.request_ids: List[int] = []
         self.arrival_ms: List[float] = []
+        self.tenant_ids: List[int] = []
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -112,10 +116,20 @@ class BatchScheduler:
         queue = self._queues.get(shard_id)
         return len(queue) if queue else 0
 
+    @property
+    def total_pending(self) -> int:
+        """Queued requests across all shards (the admission-control signal)."""
+        return sum(len(queue) for queue in self._queues.values())
+
     # --------------------------------------------------------------- offering
 
     def offer(
-        self, shard_id: int, request_id: int, key: int, arrival_ms: float
+        self,
+        shard_id: int,
+        request_id: int,
+        key: int,
+        arrival_ms: float,
+        tenant_id: int = -1,
     ) -> List[Batch]:
         """Enqueue one request; return every batch due by ``arrival_ms``."""
         if arrival_ms < self._last_arrival_ms:
@@ -127,6 +141,7 @@ class BatchScheduler:
         queue.keys.append(int(key))
         queue.request_ids.append(int(request_id))
         queue.arrival_ms.append(float(arrival_ms))
+        queue.tenant_ids.append(int(tenant_id))
         if len(queue) >= self.policy.max_batch_size:
             due.append(self._dispatch(int(shard_id), queue, float(arrival_ms), "full"))
         return due
@@ -168,6 +183,7 @@ class BatchScheduler:
     def _dispatch(
         self, shard_id: int, queue: _ShardQueue, dispatch_ms: float, reason: str
     ) -> Batch:
+        labeled = any(tenant != -1 for tenant in queue.tenant_ids)
         batch = Batch(
             shard_id=shard_id,
             keys=np.asarray(queue.keys, dtype=np.uint64),
@@ -175,10 +191,14 @@ class BatchScheduler:
             arrival_ms=np.asarray(queue.arrival_ms, dtype=np.float64),
             dispatch_ms=float(dispatch_ms),
             reason=reason,
+            tenant_ids=(
+                np.asarray(queue.tenant_ids, dtype=np.int64) if labeled else None
+            ),
         )
         queue.keys.clear()
         queue.request_ids.clear()
         queue.arrival_ms.clear()
+        queue.tenant_ids.clear()
         self._dispatched += 1
         if self.telemetry is not None:
             self.telemetry.histogram("serve_batch_size").record(batch.size)

@@ -32,7 +32,9 @@ record instead of being raised into the serving loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.gpu.kernels import KernelStats
 from repro.obs.trace import NULL_TRACER
@@ -98,6 +100,45 @@ class MaintenancePolicy:
             )
         if self.compact_max_buckets < 1:
             raise ValueError("compact_max_buckets must be >= 1")
+
+
+@dataclass
+class ReshardPolicy:
+    """When the deployment splits hot shards and merges cold neighbours.
+
+    Decisions are driven by the *observed request load* per shard over a
+    rolling window (the same load-skew signal the metrics registry reports),
+    not by stored entry counts: a hotspot migration leaves entry counts
+    untouched while concentrating traffic on one shard.
+    """
+
+    #: Master switch; the serving loop only plans reshards when enabled.
+    enabled: bool = False
+    #: How often the serving loop re-evaluates the topology.
+    interval_ms: float = 50.0
+    #: Split the hottest shard once it serves more than this multiple of the
+    #: mean per-shard load in the window.
+    split_skew: float = 2.0
+    #: Merge the coldest adjacent shard pair once its *combined* load drops
+    #: below this fraction of the mean per-shard load.
+    merge_fraction: float = 0.4
+    #: Minimum window requests before any decision is made (noise floor).
+    min_window_requests: int = 64
+    #: Never split a shard storing fewer entries than this.
+    min_split_entries: int = 128
+    #: Topology bounds.
+    max_shards: int = 64
+    min_shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.interval_ms <= 0:
+            raise ValueError("interval_ms must be > 0")
+        if self.split_skew <= 1.0:
+            raise ValueError("split_skew must be > 1")
+        if self.merge_fraction < 0.0:
+            raise ValueError("merge_fraction must be >= 0")
+        if self.min_shards < 1 or self.max_shards < self.min_shards:
+            raise ValueError("need 1 <= min_shards <= max_shards")
 
 
 class MaintenanceQueue:
@@ -226,9 +267,11 @@ class MaintenanceWorker:
         policy: Optional[MaintenancePolicy] = None,
         cache=None,
         metrics=None,
+        reshard_policy: Optional[ReshardPolicy] = None,
     ) -> None:
         self.router = router
         self.policy = policy or MaintenancePolicy()
+        self.reshard_policy = reshard_policy or ReshardPolicy()
         self.cache = cache
         #: Telemetry sink for maintenance windows and stop-the-world outages
         #: (the deployment points this at its active registry).
@@ -247,6 +290,9 @@ class MaintenanceWorker:
         self.compactions_performed: int = 0
         #: Number of replica resyncs performed (replicated deployments).
         self.resyncs_performed: int = 0
+        #: Number of committed shard splits / merges.
+        self.splits_performed: int = 0
+        self.merges_performed: int = 0
         #: Simulated time of the cycle currently executing (for task bodies).
         self.now_ms: float = 0.0
 
@@ -376,6 +422,96 @@ class MaintenanceWorker:
         self.scan(now_ms)
         return self.run_pending(now_ms)
 
+    # --------------------------------------------------------------- reshard
+
+    def plan_reshard(
+        self, window_shards: np.ndarray, window_keys: np.ndarray
+    ) -> List[Tuple[str, int, Optional[int]]]:
+        """Topology changes warranted by the window's observed load skew.
+
+        Returns at most one ``("split", shard, split_key)`` or one
+        ``("merge", shard, None)`` — resharding is deliberately incremental,
+        one committed change per evaluation interval, so a transient spike
+        never triggers a topology thrash.  The split key is the median of
+        the window's requests into the hot shard (the point that halves the
+        *observed* load, which for a hotspot is far from the stored median).
+        """
+        policy = self.reshard_policy
+        router = self.router
+        if not policy.enabled or not getattr(router, "supports_resharding", False):
+            return []
+        window_shards = np.asarray(window_shards)
+        if window_shards.shape[0] < policy.min_window_requests:
+            return []
+        num_shards = router.num_shards
+        loads = np.bincount(window_shards, minlength=num_shards).astype(np.float64)
+        mean = loads.sum() / num_shards
+        hottest = int(np.argmax(loads))
+        if (
+            num_shards < policy.max_shards
+            and loads[hottest] >= policy.split_skew * mean
+            and router.shards[hottest].num_entries >= policy.min_split_entries
+        ):
+            hot_keys = np.sort(np.asarray(window_keys)[window_shards == hottest])
+            split_key = int(hot_keys[hot_keys.shape[0] // 2])
+            return [("split", hottest, split_key)]
+        if num_shards > max(policy.min_shards, 1):
+            pair_loads = loads[:-1] + loads[1:]
+            coldest = int(np.argmin(pair_loads))
+            if pair_loads[coldest] <= policy.merge_fraction * mean:
+                return [("merge", coldest, None)]
+        return []
+
+    def run_reshard(
+        self, now_ms: float, window_shards: np.ndarray, window_keys: np.ndarray
+    ) -> List[str]:
+        """Plan and commit reshard operations; returns the ops performed.
+
+        The serving loop calls this *after* flushing the batch queues —
+        queued requests were routed under the old topology — and recomputes
+        its routing afterwards.  Both phases of each operation reuse the
+        epoch double-buffer lifecycle, so shards keep serving throughout.
+        """
+        executed: List[str] = []
+        self.now_ms = float(now_ms)
+        for op, shard_id, split_key in self.plan_reshard(window_shards, window_keys):
+            try:
+                if op == "split":
+                    work = self.router.split_shard(shard_id, split_key)
+                else:
+                    work = self.router.merge_shards(shard_id)
+            except ValueError:
+                # Unsplittable (e.g. every windowed request hit one stored
+                # key) or a racing lifecycle operation: skip this interval.
+                continue
+            cost_ms = self._work_time_ms(shard_id, work)
+            self.maintenance_time_ms += cost_ms
+            self.tier_time_ms["reshard"] = (
+                self.tier_time_ms.get("reshard", 0.0) + cost_ms
+            )
+            if op == "split":
+                self.splits_performed += 1
+            else:
+                self.merges_performed += 1
+            if self.tracer.enabled:
+                self.tracer.record_span(
+                    f"reshard.{op}",
+                    self.now_ms,
+                    cost_ms,
+                    category="maintenance",
+                    lane="maintenance",
+                    shard=int(shard_id),
+                    num_shards=self.router.num_shards,
+                )
+            if self.metrics is not None:
+                if cost_ms > 0.0:
+                    self.metrics.record_maintenance(
+                        "reshard", self.now_ms, self.now_ms + cost_ms
+                    )
+                self.metrics.telemetry.counter("serve_reshard_total", op=op).inc()
+            executed.append(op)
+        return executed
+
     def _work_time_ms(self, shard_id: int, work: KernelStats) -> float:
         if shard_id < 0:  # deployment-wide (host-side) task, no device time
             return 0.0
@@ -395,6 +531,8 @@ class MaintenanceWorker:
             "rebuilds_performed": self.rebuilds_performed,
             "compactions_performed": self.compactions_performed,
             "resyncs_performed": self.resyncs_performed,
+            "splits_performed": self.splits_performed,
+            "merges_performed": self.merges_performed,
             "maintenance_time_ms": self.maintenance_time_ms,
             "rebuild_peak_bytes": int(getattr(self.router, "rebuild_peak_bytes", 0)),
         }

@@ -20,7 +20,7 @@ compare bucketed percentiles against.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,6 +35,9 @@ SHARD_BUSY_METRIC = "serve_shard_busy_ms_total"
 CLIENT_REQUESTS_METRIC = "serve_client_requests_total"
 REPLICA_REQUESTS_METRIC = "serve_replica_requests_total"
 MAINTENANCE_DEVICE_METRIC = "serve_maintenance_device_ms_total"
+TENANT_REQUESTS_METRIC = "serve_tenant_requests_total"
+TENANT_LATENCY_METRIC = "serve_tenant_latency_ms"
+SHED_METRIC = "serve_shed_total"
 
 
 class LatencyHistogram:
@@ -187,6 +190,25 @@ class MetricsRegistry:
         """Simulated maintenance device time accumulated per tier."""
         return self._labeled_ints(MAINTENANCE_DEVICE_METRIC, key_type=str)
 
+    @property
+    def tenant_latency(self) -> Dict[int, BoundedLatencyHistogram]:
+        """Per-tenant request latency distributions (multi-tenant streams)."""
+        return {
+            int(labels[0][1]): instrument
+            for _, labels, instrument in self.telemetry.instruments(
+                TENANT_LATENCY_METRIC
+            )
+        }
+
+    @property
+    def shed_requests(self) -> Dict[Tuple[int, str], int]:
+        """Shed request counts keyed ``(tenant, reason)``."""
+        shed: Dict[Tuple[int, str], int] = {}
+        for _, labels, instrument in self.telemetry.instruments(SHED_METRIC):
+            by_label = dict(labels)
+            shed[(int(by_label["tenant"]), by_label["reason"])] = instrument.value
+        return shed
+
     # --------------------------------------------------------------- recording
 
     def bump(self, counter: str, amount: int = 1) -> None:
@@ -224,6 +246,21 @@ class MetricsRegistry:
         self.telemetry.counter(MAINTENANCE_DEVICE_METRIC, tier=str(tier)).inc(
             float(end_ms) - float(start_ms)
         )
+
+    def record_tenant_request(self, tenant_id: int, latency_ms: float) -> None:
+        """One served request of a labeled tenant (latency + count)."""
+        tenant = str(int(tenant_id))
+        self.telemetry.counter(TENANT_REQUESTS_METRIC, tenant=tenant).inc()
+        self.telemetry.get_or_create(
+            TENANT_LATENCY_METRIC, BoundedLatencyHistogram, tenant=tenant
+        ).record(float(latency_ms))
+
+    def record_shed(self, tenant_id: int, reason: str) -> None:
+        """One request shed by admission control (never served)."""
+        self.telemetry.counter(
+            SHED_METRIC, tenant=str(int(tenant_id)), reason=str(reason)
+        ).inc()
+        self.bump("requests_shed")
 
     def record_shard_batch(self, shard_id: int, batch_size: int, busy_ms: float) -> None:
         shard = str(int(shard_id))
@@ -367,6 +404,16 @@ class MetricsRegistry:
             p99_maintenance = self.latency_during_maintenance(99.0)
             if not np.isnan(p99_maintenance):
                 snapshot["latency_p99_during_maintenance_ms"] = p99_maintenance
+        tenant_latency = self.tenant_latency
+        if tenant_latency:
+            for tenant, histogram in sorted(tenant_latency.items()):
+                snapshot[f"tenant_{tenant}_requests"] = histogram.count
+                snapshot[f"tenant_{tenant}_p50_ms"] = histogram.percentile(50.0)
+                snapshot[f"tenant_{tenant}_p99_ms"] = histogram.percentile(99.0)
+        shed_requests = self.shed_requests
+        if shed_requests:
+            for (tenant, reason), count in sorted(shed_requests.items()):
+                snapshot[f"tenant_{tenant}_shed_{reason}"] = count
         for counter, value in sorted(counters.items()):
             if counter not in ("requests", "batches"):
                 snapshot[counter] = value

@@ -22,6 +22,31 @@ import numpy as np
 _FIBONACCI_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
 
 
+def routing_keys(keys: np.ndarray) -> np.ndarray:
+    """Map client keys into the deployment's unsigned routing keyspace.
+
+    The stored keyspace is unsigned, so a negative (signed-dtype) client key
+    sorts *below* every stored key.  A plain ``astype(np.uint64)`` would wrap
+    it to the top of the keyspace instead and route it to the wrong shard
+    relative to the index's order; clamping to zero keeps the routing order
+    consistent (the request lands on the lowest shard, where it misses).
+    Unsigned inputs pass through bit-identically.
+    """
+    keys = np.asarray(keys)
+    if np.issubdtype(keys.dtype, np.signedinteger):
+        return np.maximum(keys, 0).astype(np.uint64)
+    return keys.astype(np.uint64)
+
+
+def negative_key_mask(keys: np.ndarray) -> "np.ndarray | None":
+    """Mask of out-of-domain (negative) keys; ``None`` for unsigned input."""
+    keys = np.asarray(keys)
+    if np.issubdtype(keys.dtype, np.signedinteger):
+        mask = keys < 0
+        return mask if bool(mask.any()) else None
+    return None
+
+
 class Partitioner(ABC):
     """Maps keys (and key ranges) of an index deployment onto shards."""
 
@@ -79,6 +104,19 @@ class Partitioner(ABC):
         """Simulated per-batch routing cost (address arithmetic / comparisons)."""
         return int(num_keys)
 
+    @property
+    def supports_resharding(self) -> bool:
+        """Whether the shard topology can be changed in place (split/merge)."""
+        return False
+
+    def split_at(self, shard_id: int, split_key: int) -> None:
+        """Split ``shard_id`` at ``split_key`` (new shard count = old + 1)."""
+        raise NotImplementedError(f"{self.kind} partitioner cannot split shards")
+
+    def merge_with_next(self, shard_id: int) -> None:
+        """Merge ``shard_id`` with ``shard_id + 1`` (new count = old - 1)."""
+        raise NotImplementedError(f"{self.kind} partitioner cannot merge shards")
+
 
 class RangePartitioner(Partitioner):
     """Contiguous key ranges with equi-depth boundaries from the loaded keys."""
@@ -92,7 +130,7 @@ class RangePartitioner(Partitioner):
             raise ValueError(
                 f"cannot range-partition {keys.size} keys into {num_shards} shards"
             )
-        sorted_keys = np.sort(keys.astype(np.uint64))
+        sorted_keys = np.sort(routing_keys(keys))
         # Equi-depth split points: shard s serves keys < boundaries[s] (and
         # >= boundaries[s-1]); the last shard additionally serves everything
         # beyond the largest bulk-loaded key.
@@ -101,11 +139,18 @@ class RangePartitioner(Partitioner):
         self.boundaries = sorted_keys[positions]
 
     def shard_of(self, keys: np.ndarray) -> np.ndarray:
-        keys = np.asarray(keys).astype(np.uint64)
+        keys = routing_keys(keys)
         self._count_routed(keys.shape[0])
         return np.searchsorted(self.boundaries, keys, side="right").astype(np.int64)
 
     def shards_for_range(self, low: int, high: int) -> np.ndarray:
+        if high < low:
+            return np.arange(0, dtype=np.int64)
+        # Negative endpoints sort below the unsigned keyspace: an entirely
+        # negative range touches nothing, a straddling range clamps to key 0.
+        if high < 0:
+            return np.arange(0, dtype=np.int64)
+        low = max(int(low), 0)
         first = int(np.searchsorted(self.boundaries, np.uint64(low), side="right"))
         last = int(np.searchsorted(self.boundaries, np.uint64(high), side="right"))
         return np.arange(first, last + 1, dtype=np.int64)
@@ -113,17 +158,49 @@ class RangePartitioner(Partitioner):
     def shard_span_batch(
         self, lows: np.ndarray, highs: np.ndarray
     ) -> "tuple[np.ndarray, np.ndarray]":
+        lows = np.asarray(lows)
+        highs = np.asarray(highs)
+        empty = negative_key_mask(highs)
         first = np.searchsorted(
-            self.boundaries, np.asarray(lows).astype(np.uint64), side="right"
+            self.boundaries, routing_keys(lows), side="right"
         ).astype(np.int64)
         last = np.searchsorted(
-            self.boundaries, np.asarray(highs).astype(np.uint64), side="right"
+            self.boundaries, routing_keys(highs), side="right"
         ).astype(np.int64)
+        if empty is not None:
+            # Entirely-negative ranges touch no shard: empty span (first > last).
+            first[empty] = 1
+            last[empty] = 0
         return first, last
 
     def routing_compute_ops(self, num_keys: int) -> int:
         # One binary search over the boundary array per key.
         return int(num_keys) * max(1, int(np.ceil(np.log2(self.num_shards + 1))))
+
+    @property
+    def supports_resharding(self) -> bool:
+        return True
+
+    def split_at(self, shard_id: int, split_key: int) -> None:
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(f"shard {shard_id} out of range")
+        split_key = np.uint64(max(int(split_key), 0))
+        lower = self.boundaries[shard_id - 1] if shard_id > 0 else None
+        upper = (
+            self.boundaries[shard_id] if shard_id < self.num_shards - 1 else None
+        )
+        if lower is not None and split_key <= lower:
+            raise ValueError("split key must lie inside the shard's range")
+        if upper is not None and split_key >= upper:
+            raise ValueError("split key must lie inside the shard's range")
+        self.boundaries = np.insert(self.boundaries, shard_id, split_key)
+        self.num_shards += 1
+
+    def merge_with_next(self, shard_id: int) -> None:
+        if not 0 <= shard_id < self.num_shards - 1:
+            raise ValueError(f"shard {shard_id} has no right neighbour to merge")
+        self.boundaries = np.delete(self.boundaries, shard_id)
+        self.num_shards -= 1
 
 
 class HashPartitioner(Partitioner):
@@ -132,23 +209,28 @@ class HashPartitioner(Partitioner):
     kind = "hash"
 
     def shard_of(self, keys: np.ndarray) -> np.ndarray:
-        keys = np.asarray(keys).astype(np.uint64)
+        keys = routing_keys(keys)
         self._count_routed(keys.shape[0])
         with np.errstate(over="ignore"):
             mixed = keys * _FIBONACCI_MULTIPLIER
         return ((mixed >> np.uint64(33)) % np.uint64(self.num_shards)).astype(np.int64)
 
     def shards_for_range(self, low: int, high: int) -> np.ndarray:
+        if high < low or high < 0:
+            return np.arange(0, dtype=np.int64)
         return np.arange(self.num_shards, dtype=np.int64)
 
     def shard_span_batch(
         self, lows: np.ndarray, highs: np.ndarray
     ) -> "tuple[np.ndarray, np.ndarray]":
         num = np.asarray(lows).shape[0]
-        return (
-            np.zeros(num, dtype=np.int64),
-            np.full(num, self.num_shards - 1, dtype=np.int64),
-        )
+        first = np.zeros(num, dtype=np.int64)
+        last = np.full(num, self.num_shards - 1, dtype=np.int64)
+        empty = negative_key_mask(np.asarray(highs))
+        if empty is not None:
+            first[empty] = 1
+            last[empty] = 0
+        return first, last
 
 
 def make_partitioner(kind: str, keys: np.ndarray, num_shards: int) -> Partitioner:

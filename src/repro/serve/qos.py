@@ -1,0 +1,179 @@
+"""Per-tenant quality-of-service: admission control and load shedding.
+
+A multi-tenant deployment serves streams whose requests carry tenant labels
+(:class:`repro.workloads.requests.RequestStream` with ``tenant_ids``).  Under
+hostile traffic — one tenant flooding the deployment — request batching alone
+cannot protect the others: the flood fills every shard queue, and all tenants
+pay the queueing + device time of oversized batches.  The
+:class:`AdmissionController` decides *before* a request is queued whether to
+serve or shed it:
+
+* **Rate limiting** — each tenant with a configured ``rate_limit_per_ms``
+  owns a token bucket on the simulated clock.  Requests beyond the sustained
+  rate (plus burst allowance) are shed with reason ``"rate_limit"``.
+* **Saturation shedding** — when the total queued backlog crosses
+  ``max_queue_depth``, requests from tenants below the top configured
+  priority are shed (``"saturated"``); past ``hard_limit_factor ×
+  max_queue_depth`` everything is shed (``"overload"``).
+
+Shedding is an explicit, observable answer: the serving loop records shed
+decisions as labeled telemetry counters and trace spans, and shed requests
+are excluded from the oracle's byte-identical answer check (they were never
+served, by design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+#: Tenant id used for requests that carry no tenant label.
+UNLABELED_TENANT = -1
+
+
+@dataclass(frozen=True)
+class TenantQoS:
+    """QoS contract of one tenant."""
+
+    #: Tenant identifier (matches ``RequestStream.tenant_ids`` values).
+    tenant: int
+    #: Scheduling priority; at saturation only top-priority tenants are
+    #: admitted.  Unconfigured tenants have priority 0.
+    priority: int = 1
+    #: Sustained admission rate (requests per simulated millisecond);
+    #: ``0`` = unlimited.
+    rate_limit_per_ms: float = 0.0
+    #: Token-bucket burst allowance; ``0`` picks ``max(1, 16 ×
+    #: rate_limit_per_ms)`` so short spikes ride through.
+    burst: float = 0.0
+    #: Fraction of the result-cache capacity reserved for this tenant
+    #: (``0`` = no reserved partition, shares the default partition).
+    cache_share: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_limit_per_ms < 0:
+            raise ValueError("rate_limit_per_ms must be >= 0")
+        if self.burst < 0:
+            raise ValueError("burst must be >= 0")
+        if not 0.0 <= self.cache_share <= 1.0:
+            raise ValueError("cache_share must be in [0, 1]")
+
+    @property
+    def effective_burst(self) -> float:
+        if self.burst > 0:
+            return float(self.burst)
+        return max(1.0, 16.0 * float(self.rate_limit_per_ms))
+
+
+class _TokenBucket:
+    __slots__ = ("rate", "burst", "tokens", "last_ms")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last_ms = float("-inf")
+
+    def take(self, now_ms: float) -> bool:
+        if self.last_ms == float("-inf"):
+            self.last_ms = float(now_ms)
+        elapsed = max(0.0, float(now_ms) - self.last_ms)
+        self.last_ms = float(now_ms)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class ShedDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    #: ``"rate_limit"``, ``"saturated"`` or ``"overload"`` when shed.
+    reason: str = ""
+
+
+class AdmissionController:
+    """Per-tenant token buckets plus backlog-based load shedding.
+
+    ``max_queue_depth == 0`` disables saturation shedding (rate limits still
+    apply); an empty tenant list disables rate limiting (saturation shedding
+    still applies uniformly, since no tenant outranks another).
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantQoS] = (),
+        max_queue_depth: int = 0,
+        hard_limit_factor: float = 2.0,
+    ) -> None:
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        if hard_limit_factor < 1.0:
+            raise ValueError("hard_limit_factor must be >= 1")
+        self.specs: Dict[int, TenantQoS] = {}
+        self._buckets: Dict[int, _TokenBucket] = {}
+        for spec in tenants:
+            if spec.tenant in self.specs:
+                raise ValueError(f"duplicate QoS spec for tenant {spec.tenant}")
+            self.specs[int(spec.tenant)] = spec
+            if spec.rate_limit_per_ms > 0:
+                self._buckets[int(spec.tenant)] = _TokenBucket(
+                    spec.rate_limit_per_ms, spec.effective_burst
+                )
+        self.max_queue_depth = int(max_queue_depth)
+        self.hard_limit_factor = float(hard_limit_factor)
+        self.top_priority = max(
+            (spec.priority for spec in self.specs.values()), default=0
+        )
+        #: Cumulative shed counts by ``(tenant, reason)``.
+        self.shed_counts: Dict[Tuple[int, str], int] = {}
+        self.admitted_count = 0
+
+    def priority_of(self, tenant_id: int) -> int:
+        spec = self.specs.get(int(tenant_id))
+        return spec.priority if spec is not None else 0
+
+    def cache_partitions(self) -> Dict[int, float]:
+        """``{tenant: cache_share}`` for tenants with a reserved partition."""
+        return {
+            tenant: spec.cache_share
+            for tenant, spec in self.specs.items()
+            if spec.cache_share > 0
+        }
+
+    def admit(
+        self, tenant_id: int, now_ms: float, queue_depth: int
+    ) -> ShedDecision:
+        """Decide whether to serve a request arriving at ``now_ms``.
+
+        ``queue_depth`` is the deployment-wide backlog at arrival: requests
+        still queued in the batch scheduler plus requests inside dispatched
+        batches whose (simulated) device execution has not completed yet.
+        """
+        tenant_id = int(tenant_id)
+        bucket = self._buckets.get(tenant_id)
+        if bucket is not None and not bucket.take(now_ms):
+            return self._shed(tenant_id, "rate_limit")
+        if self.max_queue_depth > 0:
+            hard = self.max_queue_depth * self.hard_limit_factor
+            if queue_depth >= hard:
+                return self._shed(tenant_id, "overload")
+            if (
+                queue_depth >= self.max_queue_depth
+                and self.priority_of(tenant_id) < self.top_priority
+            ):
+                return self._shed(tenant_id, "saturated")
+        self.admitted_count += 1
+        return ShedDecision(admitted=True)
+
+    def _shed(self, tenant_id: int, reason: str) -> ShedDecision:
+        key = (tenant_id, reason)
+        self.shed_counts[key] = self.shed_counts.get(key, 0) + 1
+        return ShedDecision(admitted=False, reason=reason)
+
+    @property
+    def total_shed(self) -> int:
+        return sum(self.shed_counts.values())

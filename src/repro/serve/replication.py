@@ -870,6 +870,12 @@ class ReplicatedShardRouter(ShardRouter):
 
     # --------------------------------------------------------------- lifecycle
 
+    @property
+    def supports_resharding(self) -> bool:
+        """Splitting/merging replica groups would have to re-home apply logs
+        and failure state per replica; not supported (yet)."""
+        return False
+
     def begin_shard_rebuild(self, shard_id: int) -> KernelStats:
         """Mark a group rebuild in flight (no replacement copy is buffered).
 

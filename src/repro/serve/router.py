@@ -13,6 +13,7 @@ heal degraded shards.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -31,7 +32,12 @@ from repro.core.config import validate_engine
 from repro.gpu.device import RTX_4090, GpuDevice
 from repro.gpu.kernels import KernelStats, combine
 from repro.obs.trace import NULL_TRACER
-from repro.serve.partition import Partitioner, make_partitioner
+from repro.serve.partition import (
+    Partitioner,
+    make_partitioner,
+    negative_key_mask,
+    routing_keys,
+)
 from repro.workloads.keygen import KeySet
 
 #: Factory building one shard's index from its keyset (harness signature).
@@ -101,6 +107,19 @@ class _Shard:
     version: int = 0
     #: ``version`` the in-flight replacement was built from.
     pending_version: int = -1
+    #: In-flight reshard (``"split"`` or ``"merge"``) whose replacement
+    #: indexes live in :attr:`reshard_indexes` until commit/abort.  Like a
+    #: rebuild's pending buffer, both generations are resident meanwhile.
+    reshard_kind: Optional[str] = None
+    #: Split key of an in-flight split.
+    reshard_key: int = 0
+    #: Replacement indexes: ``(left, right)`` for a split, ``(combined,)``
+    #: for a merge (``None`` entries for empty halves).
+    reshard_indexes: tuple = ()
+    #: ``version`` the reshard replacement(s) were built from.
+    reshard_version: int = -1
+    #: Right-neighbour ``version`` an in-flight merge was built from.
+    reshard_partner_version: int = -1
 
     @property
     def num_entries(self) -> int:
@@ -160,6 +179,11 @@ class ShardRouter:
         #: double-buffered rebuilds this includes the window in which both
         #: shard generations were resident.
         self.rebuild_peak_bytes: int = 0
+        #: Bumped on every committed split/merge; serving loops compare it to
+        #: invalidate routing decisions cached under the old topology.
+        self.topology_version: int = 0
+        #: Committed split/merge counts (for reports and telemetry).
+        self.reshard_counts: Dict[str, int] = {"split": 0, "merge": 0}
 
     # -------------------------------------------------------------- structure
 
@@ -330,6 +354,237 @@ class ShardRouter:
         hottest = chained[np.argsort(lengths[chained], kind="stable")[::-1]]
         return compact(hottest[: int(max_buckets)])
 
+    # --------------------------------------------------------------- resharding
+
+    @property
+    def supports_resharding(self) -> bool:
+        """Whether the deployment can split/merge shards in place."""
+        return self.partitioner.supports_resharding
+
+    def _build_from_slice(
+        self, label: str, keys: np.ndarray, row_ids: np.ndarray, lineage: Optional[GpuIndex]
+    ) -> Optional[GpuIndex]:
+        """Build a replacement index from an authoritative-array slice.
+
+        When the live index carries the snapshot lifecycle (cgRXu), the
+        replacement is built through a sliced snapshot so it keeps the epoch
+        lineage (``epoch + 1``), exactly like a double-buffered rebuild;
+        otherwise it is built through the shard factory.  ``None`` for an
+        empty slice.
+        """
+        if keys.shape[0] == 0:
+            return None
+        if (
+            lineage is not None
+            and hasattr(lineage, "snapshot")
+            and hasattr(lineage, "build_from_snapshot")
+        ):
+            snapshot = lineage.snapshot()
+            sliced = dataclasses.replace(
+                snapshot, keys=keys.copy(), row_ids=row_ids.copy()
+            )
+            return lineage.build_from_snapshot(sliced, device=self.device)
+        keyset = KeySet(
+            keys=keys.copy(),
+            row_ids=row_ids.copy(),
+            key_bits=self.key_bits,
+            description=label,
+        )
+        return self.factory(keyset, self.device)
+
+    def _check_reshardable(self, shard: _Shard) -> None:
+        if not self.supports_resharding:
+            raise ValueError(
+                f"{self.partitioner.kind} partitioner cannot reshard in place"
+            )
+        if shard.pending_rebuild or shard.reshard_kind is not None:
+            raise ValueError(
+                f"shard {shard.shard_id} already has a rebuild or reshard in flight"
+            )
+
+    @staticmethod
+    def _split_position(shard: _Shard, split_key: int) -> int:
+        return int(
+            np.searchsorted(shard.keys, shard.keys.dtype.type(split_key), side="left")
+        )
+
+    def begin_shard_split(self, shard_id: int, split_key: Optional[int] = None) -> KernelStats:
+        """Phase one of a zero-downtime split: build both half replacements.
+
+        The live shard keeps serving; the halves sit in the shard's reshard
+        buffer (counted in the memory footprint) until
+        :meth:`commit_shard_split`.  ``split_key`` defaults to the shard's
+        median stored key; it must divide the stored entries so both halves
+        are non-empty at build time.
+        """
+        shard = self.shards[int(shard_id)]
+        self._check_reshardable(shard)
+        if shard.num_entries < 2:
+            raise ValueError(f"shard {shard_id} is too small to split")
+        if split_key is None:
+            split_key = int(shard.keys[shard.num_entries // 2])
+        split_key = max(int(split_key), 0)
+        position = self._split_position(shard, split_key)
+        if position <= 0 or position >= shard.num_entries:
+            raise ValueError("split key does not divide the shard's entries")
+        left = self._build_from_slice(
+            f"shard {shard_id}L",
+            shard.keys[:position],
+            shard.row_ids[:position],
+            shard.index,
+        )
+        right = self._build_from_slice(
+            f"shard {shard_id}R",
+            shard.keys[position:],
+            shard.row_ids[position:],
+            shard.index,
+        )
+        shard.reshard_kind = "split"
+        shard.reshard_key = split_key
+        shard.reshard_indexes = (left, right)
+        shard.reshard_version = shard.version
+        return combine(
+            f"serve.split_shard_{shard_id}",
+            [s for half in (left, right) if half is not None for s in half.build_stats],
+        )
+
+    def commit_shard_split(self, shard_id: int) -> None:
+        """Phase two: atomically replace the shard with its two halves.
+
+        The old shard serves every call up to this point and the halves every
+        later one — no unavailability window.  If updates landed since the
+        halves were built (version moved), they are rebuilt from the current
+        authoritative arrays first, so the commit can never lose writes.
+        """
+        shard_id = int(shard_id)
+        shard = self.shards[shard_id]
+        if shard.reshard_kind != "split":
+            raise ValueError(f"shard {shard_id} has no split in flight")
+        split_key = shard.reshard_key
+        left, right = shard.reshard_indexes
+        if shard.version != shard.reshard_version:
+            position = self._split_position(shard, split_key)
+            left = self._build_from_slice(
+                f"shard {shard_id}L",
+                shard.keys[:position],
+                shard.row_ids[:position],
+                shard.index,
+            )
+            right = self._build_from_slice(
+                f"shard {shard_id}R",
+                shard.keys[position:],
+                shard.row_ids[position:],
+                shard.index,
+            )
+        position = self._split_position(shard, split_key)
+        self.partitioner.split_at(shard_id, split_key)
+        left_shard = _Shard(
+            shard_id=shard_id,
+            keys=shard.keys[:position].copy(),
+            row_ids=shard.row_ids[:position].copy(),
+            index=left,
+            builds=shard.builds + 1,
+        )
+        right_shard = _Shard(
+            shard_id=shard_id + 1,
+            keys=shard.keys[position:].copy(),
+            row_ids=shard.row_ids[position:].copy(),
+            index=right,
+            builds=shard.builds + 1,
+        )
+        self.shards[shard_id : shard_id + 1] = [left_shard, right_shard]
+        self._renumber_shards()
+        self.reshard_counts["split"] += 1
+        self.topology_version += 1
+
+    def begin_shard_merge(self, shard_id: int) -> KernelStats:
+        """Phase one of a zero-downtime merge of ``shard_id`` and its right
+        neighbour: build the combined replacement off the request path."""
+        shard_id = int(shard_id)
+        if shard_id >= len(self.shards) - 1:
+            raise ValueError(f"shard {shard_id} has no right neighbour to merge")
+        left, right = self.shards[shard_id], self.shards[shard_id + 1]
+        self._check_reshardable(left)
+        self._check_reshardable(right)
+        # Left keys all sort below the boundary the right shard starts at,
+        # so concatenation preserves the sorted invariant.
+        combined = self._build_from_slice(
+            f"shard {shard_id}M",
+            np.concatenate([left.keys, right.keys]),
+            np.concatenate([left.row_ids, right.row_ids]),
+            left.index if left.index is not None else right.index,
+        )
+        left.reshard_kind = "merge"
+        left.reshard_indexes = (combined,)
+        left.reshard_version = left.version
+        left.reshard_partner_version = right.version
+        return combine(
+            f"serve.merge_shard_{shard_id}",
+            list(combined.build_stats) if combined is not None else [],
+        )
+
+    def commit_shard_merge(self, shard_id: int) -> None:
+        """Phase two: atomically replace both shards with the merged one,
+        rebuilding first if either side took writes since the build."""
+        shard_id = int(shard_id)
+        left = self.shards[shard_id]
+        if left.reshard_kind != "merge":
+            raise ValueError(f"shard {shard_id} has no merge in flight")
+        right = self.shards[shard_id + 1]
+        (combined,) = left.reshard_indexes
+        if (
+            left.version != left.reshard_version
+            or right.version != left.reshard_partner_version
+        ):
+            combined = self._build_from_slice(
+                f"shard {shard_id}M",
+                np.concatenate([left.keys, right.keys]),
+                np.concatenate([left.row_ids, right.row_ids]),
+                left.index if left.index is not None else right.index,
+            )
+        self.partitioner.merge_with_next(shard_id)
+        merged = _Shard(
+            shard_id=shard_id,
+            keys=np.concatenate([left.keys, right.keys]),
+            row_ids=np.concatenate([left.row_ids, right.row_ids]),
+            index=combined,
+            builds=max(left.builds, right.builds) + 1,
+        )
+        self.shards[shard_id : shard_id + 2] = [merged]
+        self._renumber_shards()
+        self.reshard_counts["merge"] += 1
+        self.topology_version += 1
+
+    def abort_reshard(self, shard_id: int) -> None:
+        """Drop an in-flight split/merge replacement without committing."""
+        shard = self.shards[int(shard_id)]
+        shard.reshard_kind = None
+        shard.reshard_indexes = ()
+        shard.reshard_version = -1
+        shard.reshard_partner_version = -1
+
+    def split_shard(self, shard_id: int, split_key: Optional[int] = None) -> KernelStats:
+        """Build-and-commit split (both phases; peak footprint recorded)."""
+        stats = self.begin_shard_split(shard_id, split_key)
+        self.rebuild_peak_bytes = max(
+            self.rebuild_peak_bytes, self.memory_footprint_bytes()
+        )
+        self.commit_shard_split(shard_id)
+        return stats
+
+    def merge_shards(self, shard_id: int) -> KernelStats:
+        """Build-and-commit merge of ``shard_id`` with its right neighbour."""
+        stats = self.begin_shard_merge(shard_id)
+        self.rebuild_peak_bytes = max(
+            self.rebuild_peak_bytes, self.memory_footprint_bytes()
+        )
+        self.commit_shard_merge(shard_id)
+        return stats
+
+    def _renumber_shards(self) -> None:
+        for position, shard in enumerate(self.shards):
+            shard.shard_id = position
+
     def _routing_stats(self, num_keys: int) -> KernelStats:
         return KernelStats(
             name="serve.route",
@@ -342,8 +597,19 @@ class ShardRouter:
     # ---------------------------------------------------------------- lookups
 
     def point_lookup_batch(self, keys: np.ndarray) -> LookupResult:
-        """Scatter a point-lookup batch, answer per shard, gather in order."""
-        keys = np.asarray(keys, dtype=self._key_dtype)
+        """Scatter a point-lookup batch, answer per shard, gather in order.
+
+        Negative (signed-dtype) keys are below the unsigned stored keyspace:
+        they are answered as definitional misses without touching any shard.
+        Casting them instead would wrap them to the top of the keyspace and —
+        for 32-bit deployments — alias real stored keys.
+        """
+        raw = np.asarray(keys)
+        negative = negative_key_mask(raw)
+        if negative is not None:
+            keys = np.where(negative, 0, raw).astype(self._key_dtype)
+        else:
+            keys = np.asarray(raw, dtype=self._key_dtype)
         num = int(keys.shape[0])
         row_agg = np.full(num, -1, dtype=np.int64)
         counts = np.zeros(num, dtype=np.int64)
@@ -366,7 +632,13 @@ class ShardRouter:
         try:
             if num:
                 shard_ids = self.partitioner.shard_of(keys)
+                if negative is not None:
+                    # Out-of-domain keys keep the (-1, 0) miss answer and are
+                    # never scattered.
+                    shard_ids[negative] = -1
                 for shard_id in np.unique(shard_ids):
+                    if shard_id < 0:
+                        continue
                     member = np.where(shard_ids == shard_id)[0]
                     shard = self.shards[int(shard_id)]
                     if shard.index is None:
@@ -402,28 +674,37 @@ class ShardRouter:
         return LookupResult(row_ids=row_agg, match_counts=counts, stats=stats)
 
     def range_lookup_batch(self, lows: np.ndarray, highs: np.ndarray) -> RangeLookupResult:
-        """Scatter range lookups to overlapping shards and concatenate results."""
-        lows = np.asarray(lows, dtype=self._key_dtype)
-        highs = np.asarray(highs, dtype=self._key_dtype)
-        if lows.shape != highs.shape:
+        """Scatter range lookups to overlapping shards and concatenate results.
+
+        Negative endpoints clamp to the bottom of the unsigned keyspace: a
+        range whose high end is negative matches nothing, one that straddles
+        zero behaves like ``[0, high]``.
+        """
+        lows_raw = np.asarray(lows)
+        highs_raw = np.asarray(highs)
+        if lows_raw.shape != highs_raw.shape:
             raise ValueError("lows and highs must have the same shape")
+        lows = routing_keys(lows_raw).astype(self._key_dtype)
+        highs = routing_keys(highs_raw).astype(self._key_dtype)
         num = int(lows.shape[0])
         parts: List[KernelStats] = [self._routing_stats(num)]
         self.last_calls = []
 
         # Scatter: shard -> positions of the queries that touch it.  The
         # vector engine computes every query's shard span in two vectorized
-        # searchsorted sweeps instead of a per-query Python loop.
+        # searchsorted sweeps instead of a per-query Python loop.  Routing
+        # sees the *raw* endpoints so entirely-negative ranges get an empty
+        # shard span instead of a clamped one.
         per_shard: Dict[int, "List[int] | np.ndarray"] = {}
         if self.engine == "vector" and num:
-            first, last = self.partitioner.shard_span_batch(lows, highs)
+            first, last = self.partitioner.shard_span_batch(lows_raw, highs_raw)
             for shard_id in range(self.num_shards):
                 member = np.nonzero((first <= shard_id) & (shard_id <= last))[0]
                 if member.size:
                     per_shard[shard_id] = member
         else:
             for position in range(num):
-                for shard_id in self.partitioner.shards_for_range(int(lows[position]), int(highs[position])):
+                for shard_id in self.partitioner.shards_for_range(int(lows_raw[position]), int(highs_raw[position])):
                     per_shard.setdefault(int(shard_id), []).append(position)
 
         tracer = self.tracer
@@ -485,7 +766,18 @@ class ShardRouter:
         insert_row_ids: Optional[np.ndarray] = None,
         delete_keys: Optional[np.ndarray] = None,
     ) -> UpdateResult:
-        """Route an update batch; rebuild shards whose index cannot update in place."""
+        """Route an update batch; rebuild shards whose index cannot update in place.
+
+        Negative keys are rejected uniformly at this boundary: the stored
+        keyspace is unsigned, so a signed key can neither be inserted nor
+        name an entry to delete — silently wrapping it would corrupt a
+        different key's entries.
+        """
+        for side, batch in (("insert", insert_keys), ("delete", delete_keys)):
+            if batch is not None and negative_key_mask(np.asarray(batch)) is not None:
+                raise ValueError(
+                    f"negative {side} keys are outside the unsigned keyspace"
+                )
         insert_keys = (
             np.asarray(insert_keys, dtype=self._key_dtype)
             if insert_keys is not None
@@ -586,5 +878,11 @@ class ShardRouter:
             shard.pending_index.memory_footprint().total_bytes
             for shard in self.shards
             if shard.pending_index is not None
+        )
+        total += sum(
+            replacement.memory_footprint().total_bytes
+            for shard in self.shards
+            for replacement in shard.reshard_indexes
+            if replacement is not None
         )
         return int(total)

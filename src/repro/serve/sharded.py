@@ -15,8 +15,9 @@ worker (off the request path) rather than in the foreground results.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -33,8 +34,9 @@ from repro.gpu.memory import MemoryFootprint
 from repro.obs.trace import Tracer
 from repro.serve.batching import BatchPolicy, BatchScheduler
 from repro.serve.cache import ResultCache
-from repro.serve.maintenance import MaintenancePolicy, MaintenanceWorker
+from repro.serve.maintenance import MaintenancePolicy, MaintenanceWorker, ReshardPolicy
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.qos import UNLABELED_TENANT, AdmissionController, TenantQoS
 from repro.serve.replication import (
     FailureInjector,
     ReplicatedShardRouter,
@@ -94,6 +96,30 @@ class ServeConfig:
     #: Period (simulated ms) of time-series telemetry snapshots during
     #: serving; 0 disables sampling.
     telemetry_sample_interval_ms: float = 0.0
+    #: Per-tenant QoS contracts (priorities, rate limits, reserved cache
+    #: shares); ``None`` serves every request unconditionally.
+    tenants: Optional[Tuple[TenantQoS, ...]] = None
+    #: Deployment-wide queued backlog at which low-priority tenants are shed
+    #: (0 disables saturation shedding; rate limits still apply).
+    max_queue_depth: int = 0
+    #: Backlog multiple of ``max_queue_depth`` past which *every* request is
+    #: shed.
+    hard_limit_factor: float = 2.0
+    #: Enable dynamic shard split/merge driven by observed load skew
+    #: (range-partitioned, unreplicated deployments only).
+    reshard: bool = False
+    #: How often (simulated ms) the serving loop re-evaluates the topology.
+    reshard_interval_ms: float = 50.0
+    #: Split the hottest shard once its windowed load exceeds this multiple
+    #: of the mean per-shard load.
+    reshard_split_skew: float = 2.0
+    #: Merge the coldest adjacent pair once its combined load drops below
+    #: this fraction of the mean per-shard load.
+    reshard_merge_fraction: float = 0.4
+    #: Topology ceiling for splits.
+    reshard_max_shards: int = 64
+    #: Never split a shard storing fewer entries than this.
+    reshard_min_split_entries: int = 128
 
     def describe(self) -> str:
         cache = f"cache={self.cache_capacity}" if self.cache_capacity else "no-cache"
@@ -103,6 +129,10 @@ class ServeConfig:
                 f"replicated({self.partitioner}x{self.num_shards}"
                 f"x{self.replication_factor}, {self.read_policy}, {cache})"
             )
+        if self.reshard:
+            label = f"adaptive-{label}"
+        if self.tenants:
+            label = f"{label}+qos"
         return label
 
     def replication(self) -> "ReplicationConfig":
@@ -144,6 +174,17 @@ class ShardedIndex(GpuIndex):
         self.config = config or ServeConfig()
         self.name = self.config.describe()
         self._key_dtype = np.uint32 if self.config.key_bits == 32 else np.uint64
+        if self.config.reshard:
+            if self.config.partitioner != "range":
+                raise ValueError(
+                    "dynamic resharding needs the range partitioner "
+                    "(hash placement has no boundaries to move)"
+                )
+            if self.config.replication_factor > 1:
+                raise ValueError(
+                    "dynamic resharding is not supported on replicated "
+                    "deployments"
+                )
 
         keys = np.asarray(keys, dtype=self._key_dtype)
         if row_ids is None:
@@ -178,8 +219,21 @@ class ShardedIndex(GpuIndex):
             )
         #: Failure-schedule replayer (armed by :meth:`inject_failures`).
         self.failures: Optional[FailureInjector] = None
+        #: Per-tenant admission control (None = serve everything).
+        self.admission: Optional[AdmissionController] = None
+        if self.config.tenants or self.config.max_queue_depth:
+            self.admission = AdmissionController(
+                tenants=self.config.tenants or (),
+                max_queue_depth=self.config.max_queue_depth,
+                hard_limit_factor=self.config.hard_limit_factor,
+            )
+        cache_partitions = (
+            self.admission.cache_partitions() if self.admission is not None else {}
+        )
         self.cache: Optional[ResultCache] = (
-            ResultCache(self.config.cache_capacity) if self.config.cache_capacity else None
+            ResultCache(self.config.cache_capacity, partitions=cache_partitions or None)
+            if self.config.cache_capacity
+            else None
         )
         self.maintenance = MaintenanceWorker(
             self.router,
@@ -190,6 +244,14 @@ class ShardedIndex(GpuIndex):
                 rebuild_mode=self.config.rebuild_mode,
             ),
             cache=self.cache,
+            reshard_policy=ReshardPolicy(
+                enabled=self.config.reshard,
+                interval_ms=self.config.reshard_interval_ms,
+                split_skew=self.config.reshard_split_skew,
+                merge_fraction=self.config.reshard_merge_fraction,
+                min_split_entries=self.config.reshard_min_split_entries,
+                max_shards=self.config.reshard_max_shards,
+            ),
         )
         #: Request tracer on the simulated clock (spans only when armed via
         #: ``ServeConfig.tracing`` or by flipping ``tracer.enabled``).
@@ -210,8 +272,21 @@ class ShardedIndex(GpuIndex):
         self._request_trace_ids = {}
         #: Batch results awaiting their simulated completion time (serve_stream).
         self._pending_fills = []
+        #: Per-shard device horizon: a shard executes one batch at a time, so
+        #: a batch dispatched while the previous one is still running queues
+        #: on the device (this is what makes a saturated hot shard *visible*
+        #: as latency instead of free parallelism).
+        self._device_busy_until = {}
+        #: Requests inside dispatched-but-uncompleted batches, as a heap of
+        #: ``(completion_ms, size)``.  Together with the scheduler queues this
+        #: is the backlog signal admission control sheds against.
+        self._inflight = []
+        self._inflight_count = 0
         #: Per-request answers of the last ``serve_stream(record_answers=True)``.
         self.last_answers = None
+        #: Boolean mask of requests shed by admission control in the last
+        #: ``serve_stream(record_answers=True)`` (excluded from oracle checks).
+        self.last_shed = None
         self._answer_sink = None
         self.build_stats = [
             stats
@@ -235,7 +310,12 @@ class ShardedIndex(GpuIndex):
         return KernelStats(name="serve.cache_probe", compute_ops=num_keys, launches=0)
 
     def point_lookup_batch(self, keys: np.ndarray) -> LookupResult:
-        keys = np.asarray(keys, dtype=self._key_dtype)
+        # Signed batches keep their dtype: the router clamps negative keys
+        # below the unsigned keyspace, and an eager uint cast here would wrap
+        # them onto stored keys instead (and poison the cache with aliases).
+        keys = np.asarray(keys)
+        if not np.issubdtype(keys.dtype, np.signedinteger):
+            keys = keys.astype(self._key_dtype)
         num = int(keys.shape[0])
         if self.cache is None:
             return self.router.point_lookup_batch(keys)
@@ -254,11 +334,10 @@ class ShardedIndex(GpuIndex):
 
     def range_lookup_batch(self, lows: np.ndarray, highs: np.ndarray) -> RangeLookupResult:
         # Range results are not cached: their result sets are unbounded and
-        # update invalidation would have to track interval overlaps.
-        return self.router.range_lookup_batch(
-            np.asarray(lows, dtype=self._key_dtype),
-            np.asarray(highs, dtype=self._key_dtype),
-        )
+        # update invalidation would have to track interval overlaps.  The
+        # raw (possibly signed) endpoints go straight to the router, whose
+        # span computation clamps negatives instead of wrapping them.
+        return self.router.range_lookup_batch(np.asarray(lows), np.asarray(highs))
 
     # ---------------------------------------------------------------- updates
 
@@ -406,8 +485,14 @@ class ShardedIndex(GpuIndex):
         tracer = self.tracer
         telemetry = metrics.telemetry
         self._request_trace_ids = {}
-        keys = np.asarray(stream.keys, dtype=self._key_dtype)
-        shard_of = self.router.partitioner.shard_of(keys)
+        # Routing is computed from the *raw* stream keys: the partitioner
+        # clamps signed keys below the unsigned keyspace instead of letting a
+        # uint cast wrap them onto the top shard (the negative requests are
+        # answered host-side below and never reach a batch anyway).
+        raw_keys = np.asarray(stream.keys)
+        shard_of = self.router.partitioner.shard_of(raw_keys)
+        tenant_ids = stream.tenant_ids
+        admission = self.admission
         # Batch results become cacheable only at the batch's simulated
         # completion time; until then they are parked here.
         self._pending_fills = []
@@ -416,6 +501,16 @@ class ShardedIndex(GpuIndex):
             if record_answers
             else None
         )
+        shed_mask = np.zeros(len(stream), dtype=bool) if record_answers else None
+        self.last_shed = None
+        self._device_busy_until = {}
+        self._inflight = []
+        self._inflight_count = 0
+        reshard_policy = self.maintenance.reshard_policy
+        resharding = reshard_policy.enabled and self.router.supports_resharding
+        window_shards: list = []
+        window_keys: list = []
+        next_reshard_ms = reshard_policy.interval_ms if resharding else float("inf")
 
         last_arrival = 0.0
         for request_id, arrival_ms, key in stream:
@@ -430,12 +525,60 @@ class ShardedIndex(GpuIndex):
                 scheduler.poll(arrival_ms), metrics, client_ids=stream.client_ids
             )
             self._commit_pending_fills(arrival_ms)
+            tenant = (
+                int(tenant_ids[request_id]) if tenant_ids is not None else UNLABELED_TENANT
+            )
+            if admission is not None:
+                while self._inflight and self._inflight[0][0] <= arrival_ms:
+                    self._inflight_count -= heapq.heappop(self._inflight)[1]
+                decision = admission.admit(
+                    tenant,
+                    arrival_ms,
+                    scheduler.total_pending + self._inflight_count,
+                )
+                if not decision.admitted:
+                    metrics.record_shed(tenant, decision.reason)
+                    if tracer.enabled:
+                        tracer.emit(
+                            "admission.shed",
+                            arrival_ms,
+                            0.0,
+                            "serve",
+                            "requests",
+                            tracer.new_trace_id(),
+                            None,
+                            {
+                                "request_id": request_id,
+                                "tenant": tenant,
+                                "reason": decision.reason,
+                            },
+                        )
+                    if shed_mask is not None:
+                        shed_mask[request_id] = True
+                    continue
+            if key < 0:
+                # Signed keys below the unsigned keyspace are definitional
+                # misses, answered host-side at cache latency; they never
+                # enter a batch (batch keys are unsigned).
+                completion = arrival_ms + self.config.cache_latency_ms
+                metrics.record_request(
+                    self.config.cache_latency_ms, arrival_ms, completion
+                )
+                metrics.record_client(int(stream.client_ids[request_id]))
+                if tenant != UNLABELED_TENANT:
+                    metrics.record_tenant_request(tenant, self.config.cache_latency_ms)
+                metrics.bump("negative_key_misses")
+                continue
             if self.cache is not None:
-                entry = self.cache.get(key)
+                entry = self.cache.get(key, tenant=tenant if tenant >= 0 else None)
                 if entry is not None:
                     completion = arrival_ms + self.config.cache_latency_ms
                     metrics.record_request(self.config.cache_latency_ms, arrival_ms, completion)
                     metrics.record_client(int(stream.client_ids[request_id]))
+                    if tenant != UNLABELED_TENANT:
+                        metrics.record_tenant_request(
+                            tenant, self.config.cache_latency_ms
+                        )
                     metrics.bump(
                         "cache_hits" if entry.match_count > 0 else "cache_negative_hits"
                     )
@@ -481,8 +624,26 @@ class ShardedIndex(GpuIndex):
                         None,
                         {"request_id": request_id, "hit": False},
                     )
-            due = scheduler.offer(int(shard_of[request_id]), request_id, key, arrival_ms)
+            due = scheduler.offer(
+                int(shard_of[request_id]), request_id, key, arrival_ms, tenant_id=tenant
+            )
             self._execute_batches(due, metrics, client_ids=stream.client_ids)
+            if resharding:
+                window_shards.append(int(shard_of[request_id]))
+                window_keys.append(key)
+                if arrival_ms >= next_reshard_ms:
+                    shard_of = self._maybe_reshard(
+                        scheduler,
+                        metrics,
+                        stream,
+                        arrival_ms,
+                        window_shards,
+                        window_keys,
+                        shard_of,
+                    )
+                    window_shards.clear()
+                    window_keys.clear()
+                    next_reshard_ms = arrival_ms + reshard_policy.interval_ms
 
         self._poll_failures(last_arrival + policy.max_wait_ms)
         self._execute_batches(
@@ -505,19 +666,56 @@ class ShardedIndex(GpuIndex):
         self._bind_group_metrics(self.metrics)
         if self._answer_sink is not None:
             self.last_answers = self._answer_sink
+            self.last_shed = shed_mask
             self._answer_sink = None
         return metrics
+
+    def _maybe_reshard(
+        self,
+        scheduler: BatchScheduler,
+        metrics: MetricsRegistry,
+        stream: RequestStream,
+        now_ms: float,
+        window_shards: list,
+        window_keys: list,
+        shard_of: np.ndarray,
+    ) -> np.ndarray:
+        """Evaluate the reshard policy at an interval boundary.
+
+        In-flight batches are flushed first so no queued request crosses a
+        topology change with a stale shard id; with the queues empty the
+        split/merge commits atomically between requests, and the epoch
+        lifecycle's version guard folds in any concurrent writes — no request
+        is ever lost or misrouted (zero-downtime by construction).
+        """
+        self._execute_batches(
+            scheduler.drain(now_ms), metrics, client_ids=stream.client_ids
+        )
+        self._commit_pending_fills(now_ms)
+        ops = self.maintenance.run_reshard(
+            now_ms,
+            np.asarray(window_shards, dtype=np.int64),
+            np.asarray(window_keys, dtype=np.int64),
+        )
+        if not ops:
+            return shard_of
+        # Shard ids renumber across a topology change, and split/merge swaps
+        # in freshly built index generations — stale device horizons would
+        # charge the new shards for batches the old ones ran.
+        self._device_busy_until = {}
+        metrics.num_shards = self.router.num_shards
+        return self.router.partitioner.shard_of(np.asarray(stream.keys))
 
     def _commit_pending_fills(self, now_ms: float) -> None:
         """Move completed batch results into the cache (simulated-time ordering)."""
         if self.cache is None or not self._pending_fills:
             return
         remaining = []
-        for completion_ms, fill_keys, row_agg, counts in self._pending_fills:
+        for completion_ms, fill_keys, row_agg, counts, fill_tenants in self._pending_fills:
             if completion_ms <= now_ms:
-                self.cache.fill_batch(fill_keys, row_agg, counts)
+                self.cache.fill_batch(fill_keys, row_agg, counts, tenants=fill_tenants)
             else:
-                remaining.append((completion_ms, fill_keys, row_agg, counts))
+                remaining.append((completion_ms, fill_keys, row_agg, counts, fill_tenants))
         self._pending_fills = remaining
 
     def _execute_batches(self, batches, metrics: MetricsRegistry, client_ids=None) -> None:
@@ -525,6 +723,10 @@ class ShardedIndex(GpuIndex):
         for batch in batches:
             shard = self.router.shards[batch.shard_id]
             batch_keys = batch.keys.astype(self._key_dtype)
+            exec_start = max(
+                batch.dispatch_ms,
+                self._device_busy_until.get(batch.shard_id, 0.0),
+            )
             if shard.index is None:
                 row_agg = np.full(batch.size, -1, dtype=np.int64)
                 counts = np.zeros(batch.size, dtype=np.int64)
@@ -534,7 +736,7 @@ class ShardedIndex(GpuIndex):
                 # and engine kernels recorded below it become its children.
                 batch_span = tracer.push_span(
                     "batch.execute",
-                    batch.dispatch_ms,
+                    exec_start,
                     category="router",
                     lane=f"shard-{batch.shard_id}",
                     shard=batch.shard_id,
@@ -556,7 +758,10 @@ class ShardedIndex(GpuIndex):
                 row_agg = result.row_ids
                 counts = result.match_counts
                 exec_ms = shard.index.lookup_time_ms(result)
-            completion_ms = batch.dispatch_ms + exec_ms
+            completion_ms = exec_start + exec_ms
+            self._device_busy_until[batch.shard_id] = completion_ms
+            heapq.heappush(self._inflight, (completion_ms, batch.size))
+            self._inflight_count += batch.size
             if self._answer_sink is not None:
                 self._answer_sink[0][batch.request_ids] = row_agg
                 self._answer_sink[1][batch.request_ids] = counts
@@ -566,22 +771,29 @@ class ShardedIndex(GpuIndex):
                 else 0.0
             )
             device_ms = exec_ms - overhead_ms
+            tenant_labels = batch.tenant_ids
             for position in range(batch.size):
                 arrival = float(batch.arrival_ms[position])
                 metrics.record_request(completion_ms - arrival, arrival, completion_ms)
+                if tenant_labels is not None:
+                    tenant = int(tenant_labels[position])
+                    if tenant != UNLABELED_TENANT:
+                        metrics.record_tenant_request(tenant, completion_ms - arrival)
                 if client_ids is not None:
                     metrics.record_client(int(client_ids[batch.request_ids[position]]))
             if tracer.enabled:
                 self._trace_batch_requests(
-                    tracer, batch, completion_ms, device_ms, overhead_ms
+                    tracer, batch, exec_start, completion_ms, device_ms, overhead_ms
                 )
             metrics.record_shard_batch(batch.shard_id, batch.size, exec_ms)
             metrics.bump(f"batches_{batch.reason}")
             if self.cache is not None:
-                self._pending_fills.append((completion_ms, batch_keys, row_agg, counts))
+                self._pending_fills.append(
+                    (completion_ms, batch_keys, row_agg, counts, tenant_labels)
+                )
 
     def _trace_batch_requests(
-        self, tracer, batch, completion_ms, device_ms, overhead_ms
+        self, tracer, batch, exec_start, completion_ms, device_ms, overhead_ms
     ) -> None:
         """Emit the per-request stage spans of one completed batch.
 
@@ -602,7 +814,8 @@ class ShardedIndex(GpuIndex):
         wait_attrs = {"shard": shard_id, "reason": batch.reason}
         device_attrs = {"shard": shard_id, "batch_size": size, "engine": engine}
         failover_attrs = {"shard": shard_id}
-        failover_start = dispatch_ms + device_ms
+        device_queue_ms = exec_start - dispatch_ms
+        failover_start = exec_start + device_ms
         for position in range(size):
             request_id = request_ids[position]
             arrival = arrivals[position]
@@ -629,8 +842,13 @@ class ShardedIndex(GpuIndex):
                 "queue.wait", arrival, dispatch_ms - arrival,
                 "serve", "requests", trace_id, root_id, wait_attrs,
             )
+            if device_queue_ms > 0.0:
+                emit(
+                    "device.queue", dispatch_ms, device_queue_ms,
+                    "device", "requests", trace_id, root_id, device_attrs,
+                )
             emit(
-                "device.execute", dispatch_ms, device_ms,
+                "device.execute", exec_start, device_ms,
                 "device", "requests", trace_id, root_id, device_attrs,
             )
             if overhead_ms > 0.0:

@@ -19,13 +19,23 @@ from repro.workloads.lookups import (
     uniform_lookups,
     zipf_lookups,
 )
+from repro.workloads.adversarial import (
+    TenantSpec,
+    multi_tenant_stream,
+    range_hammer_stream,
+    shifting_hotspot_stream,
+)
 from repro.workloads.failures import failure_schedule
 from repro.workloads.requests import RequestStream, zipf_request_stream
 from repro.workloads.updates import UpdateWave, update_waves
 
 __all__ = [
     "RequestStream",
+    "TenantSpec",
     "failure_schedule",
+    "multi_tenant_stream",
+    "range_hammer_stream",
+    "shifting_hotspot_stream",
     "zipf_request_stream",
     "KeySet",
     "generate_keys",

@@ -1,0 +1,278 @@
+"""Hostile request streams the paper never measured.
+
+The serving benchmarks so far drive well-behaved Zipf traffic; production
+deployments break on exactly the streams that are *not* well behaved.  Three
+generator families cover that space:
+
+* :func:`shifting_hotspot_stream` — a contiguous hotspot window that
+  migrates across the sorted keyspace in phases.  A static range partition
+  that was equi-depth at build time serves almost the whole stream from one
+  shard at a time, and *which* shard changes as the hotspot moves — the
+  signal the dynamic split/merge policy reacts to.
+* :func:`range_hammer_stream` — the worst case for range partitioning: a
+  large fraction of the traffic hammers one thin slice of the sorted
+  keyspace (one shard by construction), with a configurable fraction of
+  **negative int64 keys** mixed in to exercise the signed-key routing
+  boundary (they must be answered as misses, never wrapped).
+* :func:`multi_tenant_stream` — per-tenant Poisson arrival processes (with
+  optional on/off bursts) merged into one time-ordered stream carrying
+  tenant labels; each tenant has its own rate, Zipf skew and keyspace
+  slice, so one flooding tenant contends with well-behaved ones.
+
+All generators are seeded and deterministic, like everything else in
+:mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.keygen import KeySet
+from repro.workloads.lookups import zipf_lookups
+from repro.workloads.requests import RequestStream
+
+
+def _poisson_arrivals(
+    rng: np.random.Generator, count: int, requests_per_ms: float
+) -> np.ndarray:
+    gaps = rng.exponential(scale=1.0 / requests_per_ms, size=count)
+    arrivals = np.cumsum(gaps)
+    arrivals -= arrivals[0]
+    return arrivals
+
+
+def shifting_hotspot_stream(
+    keyset: KeySet,
+    count: int,
+    num_phases: int = 4,
+    hotspot_fraction: float = 0.9,
+    hotspot_width: float = 0.05,
+    requests_per_ms: float = 32.0,
+    num_clients: int = 64,
+    seed: int = 0,
+) -> RequestStream:
+    """A hotspot window sweeping low→high across the sorted keyspace.
+
+    The stream is cut into ``num_phases`` equal-duration phases; in phase
+    ``p`` a ``hotspot_fraction`` of the requests target a contiguous window
+    of ``hotspot_width`` of the sorted keys whose centre moves linearly from
+    the bottom of the keyspace to the top, and the rest are uniform over all
+    keys.  Every key is a stored key (pure hit traffic), so the only thing
+    that changes over time is *where* the load lands.
+    """
+    count = int(count)
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if num_phases < 1:
+        raise ValueError("num_phases must be >= 1")
+    if not 0.0 <= hotspot_fraction <= 1.0:
+        raise ValueError("hotspot_fraction must be within [0, 1]")
+    if not 0.0 < hotspot_width <= 1.0:
+        raise ValueError("hotspot_width must be within (0, 1]")
+
+    rng = np.random.default_rng(seed)
+    sorted_keys = np.sort(keyset.keys)
+    num_keys = sorted_keys.shape[0]
+    arrival_ms = _poisson_arrivals(rng, count, requests_per_ms)
+
+    phase = (np.arange(count) * num_phases) // count
+    centres = np.linspace(hotspot_width / 2.0, 1.0 - hotspot_width / 2.0, num_phases)
+    window_lo = np.clip(
+        ((centres - hotspot_width / 2.0) * num_keys).astype(np.int64), 0, num_keys - 1
+    )
+    window_hi = np.clip(
+        ((centres + hotspot_width / 2.0) * num_keys).astype(np.int64), 1, num_keys
+    )
+
+    hot = rng.random(count) < hotspot_fraction
+    positions = rng.integers(0, num_keys, size=count)
+    lo = window_lo[phase]
+    span = np.maximum(window_hi[phase] - lo, 1)
+    positions[hot] = lo[hot] + (rng.random(int(hot.sum())) * span[hot]).astype(np.int64)
+    keys = sorted_keys[positions]
+
+    client_ids = rng.integers(0, int(num_clients), size=count, dtype=np.int64)
+    description = (
+        f"shifting hotspot: {num_phases} phases, width={hotspot_width:.0%}, "
+        f"hot={hotspot_fraction:.0%}, rate={requests_per_ms}/ms, n={count}"
+    )
+    return RequestStream(
+        arrival_ms=arrival_ms,
+        keys=keys,
+        client_ids=client_ids,
+        description=description,
+    )
+
+
+def range_hammer_stream(
+    keyset: KeySet,
+    count: int,
+    span_fraction: float = 0.05,
+    hammer_fraction: float = 0.9,
+    negative_fraction: float = 0.05,
+    requests_per_ms: float = 32.0,
+    num_clients: int = 64,
+    seed: int = 0,
+) -> RequestStream:
+    """Worst-case traffic for a range partition, with negative keys mixed in.
+
+    ``hammer_fraction`` of the requests target the top ``span_fraction``
+    slice of the sorted keyspace — under any equi-depth range partition that
+    slice lives on (at most) one shard, so the hammer concentrates there no
+    matter how many shards exist, while a hash partition spreads it evenly.
+    ``negative_fraction`` of the requests carry negative int64 keys, which
+    sort below the unsigned keyspace and must be answered as misses — the
+    stream's dtype is int64 for exactly this reason.
+    """
+    count = int(count)
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    for name, value in (
+        ("span_fraction", span_fraction),
+        ("hammer_fraction", hammer_fraction),
+        ("negative_fraction", negative_fraction),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be within [0, 1]")
+
+    rng = np.random.default_rng(seed)
+    sorted_keys = np.sort(keyset.keys)
+    num_keys = sorted_keys.shape[0]
+    arrival_ms = _poisson_arrivals(rng, count, requests_per_ms)
+
+    slice_start = min(int(num_keys * (1.0 - span_fraction)), num_keys - 1)
+    positions = rng.integers(0, num_keys, size=count)
+    hammered = rng.random(count) < hammer_fraction
+    positions[hammered] = rng.integers(
+        slice_start, num_keys, size=int(hammered.sum())
+    )
+    keys = sorted_keys[positions].astype(np.int64)
+    negative = rng.random(count) < negative_fraction
+    keys[negative] = -rng.integers(1, 2**31, size=int(negative.sum()))
+
+    client_ids = rng.integers(0, int(num_clients), size=count, dtype=np.int64)
+    description = (
+        f"range hammer: top {span_fraction:.0%} slice, "
+        f"hammer={hammer_fraction:.0%}, negative={negative_fraction:.0%}, n={count}"
+    )
+    return RequestStream(
+        arrival_ms=arrival_ms,
+        keys=keys,
+        client_ids=client_ids,
+        description=description,
+    )
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Traffic profile of one tenant in a multi-tenant stream."""
+
+    #: Tenant identifier carried on every request.
+    tenant: int
+    #: Poisson arrival rate of this tenant.
+    requests_per_ms: float
+    #: Zipf skew of the tenant's key popularity.
+    zipf_coefficient: float = 1.0
+    #: Slice of the sorted keyspace this tenant touches, as fractions.
+    keyspace: Tuple[float, float] = (0.0, 1.0)
+    #: Simulated client processes behind this tenant.
+    num_clients: int = 16
+    #: On/off burst modulation: when ``burst_on_ms > 0`` the tenant only
+    #: sends during the first ``burst_on_ms`` of every
+    #: ``burst_on_ms + burst_off_ms`` cycle (a flooding tenant's duty cycle).
+    burst_on_ms: float = 0.0
+    burst_off_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.requests_per_ms <= 0:
+            raise ValueError("requests_per_ms must be positive")
+        lo, hi = self.keyspace
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ValueError("keyspace must be a non-empty sub-interval of [0, 1]")
+        if self.burst_on_ms < 0 or self.burst_off_ms < 0:
+            raise ValueError("burst windows must be >= 0")
+
+
+def multi_tenant_stream(
+    keyset: KeySet,
+    specs: Sequence[TenantSpec],
+    duration_ms: float,
+    seed: int = 0,
+) -> RequestStream:
+    """Merge per-tenant arrival processes into one labeled stream.
+
+    Each tenant draws Poisson arrivals at its own rate over ``duration_ms``
+    (optionally on/off modulated), with Zipf-skewed keys from its own slice
+    of the sorted keyspace; the merged stream is time-ordered and carries
+    ``tenant_ids`` so the serving layer can enforce per-tenant QoS.
+    """
+    if not specs:
+        raise ValueError("need at least one tenant spec")
+    if duration_ms <= 0:
+        raise ValueError("duration_ms must be positive")
+    seen = set()
+    for spec in specs:
+        if spec.tenant in seen:
+            raise ValueError(f"duplicate tenant id {spec.tenant}")
+        seen.add(spec.tenant)
+
+    rng = np.random.default_rng(seed)
+    sorted_keys = np.sort(keyset.keys)
+    row_order = np.argsort(keyset.keys, kind="stable")
+    num_keys = sorted_keys.shape[0]
+
+    all_arrivals = []
+    all_keys = []
+    all_clients = []
+    all_tenants = []
+    for offset, spec in enumerate(specs):
+        budget = int(spec.requests_per_ms * duration_ms * 1.3) + 16
+        gaps = rng.exponential(scale=1.0 / spec.requests_per_ms, size=budget)
+        arrivals = np.cumsum(gaps)
+        arrivals = arrivals[arrivals < duration_ms]
+        if spec.burst_on_ms > 0:
+            cycle = spec.burst_on_ms + spec.burst_off_ms
+            arrivals = arrivals[(arrivals % cycle) < spec.burst_on_ms]
+        if arrivals.shape[0] == 0:
+            continue
+        count = arrivals.shape[0]
+
+        lo = int(spec.keyspace[0] * num_keys)
+        hi = max(int(spec.keyspace[1] * num_keys), lo + 1)
+        slice_keyset = KeySet(
+            keys=sorted_keys[lo:hi],
+            row_ids=keyset.row_ids[row_order][lo:hi],
+            key_bits=keyset.key_bits,
+            description=f"tenant {spec.tenant} slice",
+        )
+        keys = zipf_lookups(
+            slice_keyset,
+            count,
+            spec.zipf_coefficient,
+            seed=seed + 7919 * (offset + 1),
+        )
+        clients = spec.tenant * 1000 + rng.integers(
+            0, int(spec.num_clients), size=count, dtype=np.int64
+        )
+        all_arrivals.append(arrivals)
+        all_keys.append(keys)
+        all_clients.append(clients)
+        all_tenants.append(np.full(count, int(spec.tenant), dtype=np.int64))
+
+    if not all_arrivals:
+        raise ValueError("no tenant produced any request within duration_ms")
+    arrival_ms = np.concatenate(all_arrivals)
+    order = np.argsort(arrival_ms, kind="stable")
+    description = "multi-tenant: " + ", ".join(
+        f"t{spec.tenant}@{spec.requests_per_ms}/ms" for spec in specs
+    )
+    return RequestStream(
+        arrival_ms=arrival_ms[order],
+        keys=np.concatenate(all_keys)[order],
+        client_ids=np.concatenate(all_clients)[order],
+        description=description,
+        tenant_ids=np.concatenate(all_tenants)[order],
+    )

@@ -12,7 +12,7 @@ indexed, exercising the negative cache).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -31,12 +31,17 @@ class RequestStream:
     #: Originating (simulated) client per request.
     client_ids: np.ndarray
     description: str = ""
+    #: Optional tenant label per request (multi-tenant streams); ``None``
+    #: for single-tenant traffic.
+    tenant_ids: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if not (
             self.arrival_ms.shape == self.keys.shape == self.client_ids.shape
         ):
             raise ValueError("arrival_ms, keys and client_ids must align")
+        if self.tenant_ids is not None and self.tenant_ids.shape != self.keys.shape:
+            raise ValueError("tenant_ids must align with keys")
         if self.arrival_ms.size and np.any(np.diff(self.arrival_ms) < 0):
             raise ValueError("arrivals must be non-decreasing")
 

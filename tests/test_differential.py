@@ -42,8 +42,13 @@ from repro.bench.harness import (
     rx_factory,
     sorted_array_factory,
 )
-from repro.serve import ServeConfig, ShardedIndex
+from repro.serve import ServeConfig, ShardedIndex, TenantQoS
 from repro.serve.router import apply_update_to_entries
+from repro.workloads.adversarial import (
+    TenantSpec,
+    multi_tenant_stream,
+    shifting_hotspot_stream,
+)
 from repro.workloads.failures import failure_schedule
 from repro.workloads.keygen import KeySet
 
@@ -333,3 +338,150 @@ def test_differential_fuzz_replicated_traced_is_behavior_neutral():
     assert repr(traced.index.metrics.snapshot()) == repr(
         untraced.index.metrics.snapshot()
     )
+
+
+# --------------------------------------------------------------------------
+# Adaptive serving fuzz: tenants, hotspot shift, updates, resharding
+# --------------------------------------------------------------------------
+
+
+def _served_chunk_matches_oracle(index, oracle, stream) -> int:
+    """Serve one chunk and compare every non-shed answer to the oracle.
+
+    Negative (signed) keys must come back as the deterministic miss
+    ``(-1, 0)``; shed requests are excluded from the comparison but their
+    answer slots must be untouched.  Returns the number of shed requests.
+    """
+    stream.arrival_ms += float(index.clock.now_ms) + 1.0
+    index.serve_stream(stream, record_answers=True)
+    row_agg, counts = index.last_answers
+    shed = index.last_shed
+    served = ~shed
+
+    keys = np.asarray(stream.keys)
+    if np.issubdtype(keys.dtype, np.signedinteger):
+        negative = keys < 0
+        lookups = np.where(negative, 0, keys).astype(np.uint32)
+    else:
+        negative = np.zeros(keys.shape[0], dtype=bool)
+        lookups = keys.astype(np.uint32)
+    expected_agg, expected_counts = oracle.point(lookups)
+    expected_agg = np.where(negative, -1, expected_agg)
+    expected_counts = np.where(negative, 0, expected_counts)
+
+    assert row_agg[served].tobytes() == expected_agg[served].tobytes()
+    assert counts[served].tobytes() == expected_counts[served].tobytes()
+    np.testing.assert_array_equal(row_agg[shed], -1)
+    np.testing.assert_array_equal(counts[shed], 0)
+    return int(shed.sum())
+
+
+def test_differential_fuzz_adaptive_multi_tenant():
+    """Adaptive deployment under mixed hostile ops stays oracle-exact.
+
+    The op mix interleaves unlabeled shifting-hotspot chunks (driving the
+    split/merge policy), multi-tenant chunks with a rate-limited flooding
+    tenant and negative keys mixed in (driving admission control and the
+    signed-key boundary), and update batches that move the oracle between
+    chunks.  Every non-shed answer must stay byte-identical throughout,
+    across actual topology changes.
+    """
+    rng = np.random.default_rng(20250808)
+    keys = rng.integers(0, KEYSPACE, size=1024, dtype=np.uint32)
+    row_ids = np.arange(keys.shape[0], dtype=np.uint32)
+    oracle = Oracle(keys, row_ids)
+
+    config = ServeConfig(
+        num_shards=4,
+        partitioner="range",
+        key_bits=32,
+        cache_capacity=256,
+        max_batch_size=512,
+        max_wait_ms=0.05,
+        tenants=(
+            TenantQoS(tenant=1, priority=0, rate_limit_per_ms=2.0, cache_share=0.25),
+            TenantQoS(tenant=2, priority=2, cache_share=0.25),
+        ),
+        max_queue_depth=256,
+        reshard=True,
+        reshard_interval_ms=1.0,
+        reshard_split_skew=1.5,
+        reshard_min_split_entries=64,
+        reshard_max_shards=16,
+    )
+    index = ShardedIndex(
+        keys, row_ids, factory=sorted_array_factory(), config=config
+    )
+
+    total_shed = 0
+    for step in range(3):
+        current = KeySet(
+            keys=oracle.keys.copy(),
+            row_ids=oracle.row_ids.copy(),
+            key_bits=32,
+            description="fuzz entries",
+        )
+
+        # Hotspot chunk: unlabeled traffic whose hot window sweeps the
+        # keyspace, concentrating load on one shard at a time.
+        hotspot = shifting_hotspot_stream(
+            current,
+            count=1200,
+            num_phases=2,
+            requests_per_ms=400.0,
+            seed=1000 + step,
+        )
+        total_shed += _served_chunk_matches_oracle(index, oracle, hotspot)
+
+        # Tenant chunk: a flooding tenant hammering a per-step window of the
+        # keyspace (rate-limited) against a low-rate victim, with negative
+        # keys mixed into the flood.
+        window_lo = 0.2 * step
+        tenants = multi_tenant_stream(
+            current,
+            [
+                TenantSpec(
+                    tenant=1,
+                    requests_per_ms=24.0,
+                    zipf_coefficient=0.7,
+                    keyspace=(window_lo, window_lo + 0.3),
+                ),
+                TenantSpec(tenant=2, requests_per_ms=2.0),
+            ],
+            duration_ms=20.0,
+            seed=2000 + step,
+        )
+        signed = tenants.keys.astype(np.int64)
+        flip = rng.random(signed.shape[0]) < 0.03
+        signed[flip] = -rng.integers(1, 1 << 20, size=int(flip.sum()))
+        tenants.keys = signed
+        total_shed += _served_chunk_matches_oracle(index, oracle, tenants)
+
+        # Update batch: disjoint inserts and whole-group deletes, applied to
+        # deployment and oracle alike.
+        insert_keys = _absent_keys(rng, oracle, 32)
+        insert_rows = rng.integers(
+            0, 1 << 20, size=insert_keys.shape[0], dtype=np.uint32
+        )
+        stored = np.unique(oracle.keys)
+        delete_keys = rng.choice(
+            stored, size=min(16, stored.shape[0]), replace=False
+        )
+        index.update_batch(
+            insert_keys=insert_keys,
+            insert_row_ids=insert_rows,
+            delete_keys=delete_keys,
+        )
+        oracle.apply(insert_keys, insert_rows, delete_keys)
+
+    # The hostile mix actually exercised the machinery under test.
+    assert index.router.reshard_counts["split"] >= 1
+    assert total_shed > 0
+    assert index.admission is not None and index.admission.total_shed == total_shed
+
+    # Closing sweep: the full keyspace still matches the oracle exactly.
+    full = index.range_lookup_batch(
+        np.asarray([0], dtype=np.uint32),
+        np.asarray([np.iinfo(np.uint32).max], dtype=np.uint32),
+    )
+    np.testing.assert_array_equal(np.sort(full.row_ids[0]), np.sort(oracle.row_ids))
