@@ -1896,6 +1896,315 @@ def adaptive(
     return result
 
 
+def durability(
+    num_keys: int = 1 << 12,
+    num_requests: int = 1 << 10,
+    num_shards: int = 4,
+    replication_factor: int = 3,
+    num_update_waves: int = 3,
+    requests_per_ms: float = 32.0,
+    miss_fraction: float = 0.05,
+    max_batch_size: int = 64,
+    max_wait_ms: float = 0.5,
+    quick: bool = False,
+    seed: int = 71,
+) -> ExperimentResult:
+    """Durability experiment: per-shard WAL + checkpoints under crash weather.
+
+    Three panels over a replicated cgRXu deployment with the durable tier
+    (``repro.store``) attached, every answer differentially checked against
+    an untouched oracle:
+
+    * ``a_crash_restart`` — whole-process kill weather mid-stream: killed
+      replicas lose their in-memory index and restore from checkpoint + WAL
+      while serving continues on their peers; acked update waves land
+      between kills and must survive every restart byte-for-byte,
+    * ``b_cold_start`` — the deployment process "exits" (a fresh store is
+      opened over the same directory, with a torn WAL record crafted onto
+      one shard) and is rebuilt via ``ShardedIndex.cold_start``: the torn
+      tail is truncated, every acknowledged write is recovered, and the
+      recovered deployment answers byte-identically,
+    * ``c_wal_overhead`` — host wall-clock of the same write+read workload
+      with the store detached / attached without fsync / attached with
+      fsync: what the durability guarantee costs on the write path.
+    """
+    import shutil
+    import tempfile
+    import time as _time
+
+    from repro.bench.harness import sharded_factory
+    from repro.serve.replication import FailureEvent
+    from repro.serve.router import apply_update_to_entries
+    from repro.serve.sharded import ShardedIndex, ServeConfig
+    from repro.store import DeploymentStore, LocalDirBackend, encode_record
+    from repro.workloads.failures import failure_schedule
+    from repro.workloads.requests import zipf_request_stream
+
+    if quick:
+        num_keys = min(num_keys, 1 << 11)
+        num_requests = min(num_requests, 1 << 9)
+        num_update_waves = min(num_update_waves, 2)
+
+    result = ExperimentResult(
+        name="durability",
+        description="Durable serving: WAL + checkpoints, crash/restart recovery",
+        parameters={
+            "num_keys": num_keys,
+            "num_requests": num_requests,
+            "num_shards": num_shards,
+            "replication_factor": replication_factor,
+            "num_update_waves": num_update_waves,
+            "max_batch_size": max_batch_size,
+            "max_wait_ms": max_wait_ms,
+        },
+    )
+    keyset = generate_keys(num_keys, uniformity=0.5, key_bits=32, seed=seed)
+    store_root = tempfile.mkdtemp(prefix="repro-durability-")
+
+    def deployment(store_dir, **serve_kwargs):
+        factory = sharded_factory(
+            inner=cgrxu_factory(128),
+            num_shards=num_shards,
+            partitioner="range",
+            cache_capacity=0,
+            replication_factor=replication_factor,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            store_dir=store_dir,
+            **serve_kwargs,
+        )
+        return factory(keyset, RTX_4090)
+
+    def entries_of(served) -> tuple:
+        """The deployment's authoritative entries as a key-sorted multiset."""
+        keys = np.concatenate(
+            [shard.index.keys for shard in served.router.shards]
+        )
+        rows = np.concatenate(
+            [shard.index.row_ids for shard in served.router.shards]
+        )
+        order = np.lexsort((rows, keys))
+        return keys[order], rows[order]
+
+    def oracle_state(oracle_keys, oracle_rows) -> tuple:
+        order = np.lexsort((oracle_rows, oracle_keys))
+        return oracle_keys[order], oracle_rows[order]
+
+    def probe_identical(served, oracle_keys, oracle_rows, probe_seed) -> bool:
+        oracle = SortedArrayIndex(oracle_keys, oracle_rows, key_bits=32)
+        rng = np.random.default_rng(probe_seed)
+        probe = np.concatenate(
+            [
+                rng.choice(oracle_keys, size=224),
+                rng.integers(0, (1 << 32) - 1, size=32, dtype=np.uint64).astype(
+                    np.uint32
+                ),
+            ]
+        )
+        expected = oracle.point_lookup_batch(probe)
+        answered = served.point_lookup_batch(probe)
+        return bool(
+            answered.row_ids.tobytes() == expected.row_ids.tobytes()
+            and answered.match_counts.tobytes() == expected.match_counts.tobytes()
+        )
+
+    # (a) Process-kill weather: acked update waves between kill rounds, every
+    # restart restored from the durable tier while peers keep serving.
+    served = deployment(store_root)
+    stream = zipf_request_stream(
+        keyset,
+        num_requests,
+        zipf_coefficient=1.0,
+        requests_per_ms=requests_per_ms,
+        miss_fraction=miss_fraction,
+        seed=seed + 1,
+    )
+    oracle_keys = keyset.keys.copy()
+    oracle_rows = keyset.row_ids.copy()
+    rng = np.random.default_rng(seed + 2)
+    wave_size = max(1, num_keys // 8)
+    next_row = int(oracle_rows.max()) + 1
+    previous: dict = {}
+    for wave in range(1, num_update_waves + 1):
+        insert_keys = rng.integers(
+            0, (1 << 32) - 1, size=wave_size, dtype=np.uint64
+        ).astype(np.uint32)
+        delete_keys = rng.choice(oracle_keys, size=wave_size // 4, replace=False)
+        insert_rows = np.arange(next_row, next_row + wave_size, dtype=np.uint32)
+        next_row += wave_size
+        served.update_batch(
+            insert_keys=insert_keys,
+            insert_row_ids=insert_rows,
+            delete_keys=delete_keys,
+        )
+        oracle_keys, oracle_rows, _ = apply_update_to_entries(
+            oracle_keys, oracle_rows, insert_keys, insert_rows, delete_keys
+        )
+        # Kill one process per shard (rolling over the replica ids), let the
+        # outage end, and recover from disk via the maintenance worker.
+        now = served.clock.now_ms
+        injector = served.inject_failures(
+            [
+                FailureEvent(
+                    at_ms=now,
+                    kind="process_kill",
+                    shard_id=shard_id,
+                    replica_id=(wave - 1) % replication_factor,
+                    duration_ms=2.0,
+                )
+                for shard_id in range(num_shards)
+            ]
+        )
+        injector.poll(now)
+        injector.poll(now + 5.0)
+        served.maintenance.run_cycle(now + 5.0)
+        replication = served.replication_snapshot()
+        recovered_keys, recovered_rows = entries_of(served)
+        expected_keys, expected_rows = oracle_state(oracle_keys, oracle_rows)
+        result.add(
+            panel="a_crash_restart",
+            wave=wave,
+            process_kills=int(replication.get("process_kills", 0)) - int(previous.get("process_kills", 0)),
+            durable_restores=int(replication.get("resyncs_durable", 0)) - int(previous.get("resyncs_durable", 0)),
+            wal_records_replayed=served.store.counters["records_replayed"],
+            acked_writes_lost=int(expected_keys.shape[0] - recovered_keys.shape[0]),
+            entries_identical=bool(
+                recovered_keys.tobytes() == expected_keys.tobytes()
+                and recovered_rows.tobytes() == expected_rows.tobytes()
+            ),
+            answers_identical=probe_identical(
+                served, oracle_keys, oracle_rows, seed + 10 + wave
+            ),
+        )
+        previous = replication
+    # ... then serve a read stream through trailing kill weather: recoveries
+    # happen while peers keep answering, and every answer matches the oracle.
+    weather = failure_schedule(
+        num_shards,
+        replication_factor,
+        duration_ms=stream.duration_ms,
+        crashes_per_s=0.0,
+        slowdowns_per_s=0.0,
+        transients_per_s=0.0,
+        process_kills_per_s=60.0,
+        mean_outage_ms=4.0,
+        spare_replica=0,
+        seed=seed + 3,
+    )
+    served.inject_failures(weather)
+    stream_oracle = SortedArrayIndex(oracle_keys, oracle_rows, key_bits=32)
+    stream_expected = stream_oracle.point_lookup_batch(stream.keys.astype(np.uint32))
+    metrics = served.serve_stream(stream, record_answers=True)
+    snapshot = metrics.snapshot()
+    row_agg, match_counts = served.last_answers
+    replication = served.replication_snapshot()
+    result.add(
+        panel="a_crash_restart",
+        wave="stream",
+        process_kills=int(replication.get("process_kills", 0)) - int(previous.get("process_kills", 0)),
+        durable_restores=int(replication.get("resyncs_durable", 0)) - int(previous.get("resyncs_durable", 0)),
+        recoveries=snapshot.get("recoveries", 0),
+        recovery_mean_ms=snapshot.get("recovery_mean_ms", 0.0),
+        recovery_max_ms=snapshot.get("recovery_max_ms", 0.0),
+        latency_p99_ms=snapshot["latency_p99_ms"],
+        availability=snapshot.get("availability", 1.0),
+        answers_identical=bool(
+            row_agg.tobytes() == stream_expected.row_ids.tobytes()
+            and match_counts.tobytes() == stream_expected.match_counts.tobytes()
+        ),
+    )
+
+    # (b) Cold start: open a fresh store over the same directory (the
+    # "process" is gone), tear the final WAL record of shard 0, recover.
+    store = DeploymentStore(LocalDirBackend(store_root), key_bits=32)
+    torn_wal = store.wal(0)
+    torn_lsn = torn_wal.max_lsn() + 1
+    record = encode_record(
+        torn_lsn,
+        np.asarray([7], dtype=np.uint32),
+        np.asarray([1], dtype=np.uint32),
+        np.empty(0, dtype=np.uint32),
+    )
+    store.backend.put(torn_wal._name(torn_lsn), record[: len(record) // 2])
+    began = _time.perf_counter()
+    recovered = ShardedIndex.cold_start(
+        store,
+        factory=cgrxu_factory(128),
+        config=ServeConfig(
+            replication_factor=replication_factor,
+            cache_capacity=0,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+        ),
+    )
+    cold_start_wall_ms = (_time.perf_counter() - began) * 1e3
+    report = recovered.last_recovery
+    recovered_keys, recovered_rows = entries_of(recovered)
+    expected_keys, expected_rows = oracle_state(oracle_keys, oracle_rows)
+    result.add(
+        panel="b_cold_start",
+        entries_recovered=report["entries_recovered"],
+        wal_records_replayed=report["records_replayed"],
+        torn_truncated=report["torn_truncated"],
+        corrupt_skipped=report["corrupt_skipped"],
+        recovery_wall_ms=report["recovery_wall_ms"],
+        cold_start_wall_ms=cold_start_wall_ms,
+        acked_writes_lost=int(expected_keys.shape[0] - recovered_keys.shape[0]),
+        entries_identical=bool(
+            recovered_keys.tobytes() == expected_keys.tobytes()
+            and recovered_rows.tobytes() == expected_rows.tobytes()
+        ),
+        answers_identical=probe_identical(
+            recovered, oracle_keys, oracle_rows, seed + 20
+        ),
+    )
+    shutil.rmtree(store_root, ignore_errors=True)
+
+    # (c) What durability costs: wall-clock of one write+read workload with
+    # the store off, on without fsync, and on with fsync barriers.
+    def timed_workload(store_dir, store_fsync) -> dict:
+        subject = deployment(store_dir, store_fsync=store_fsync)
+        workload_rng = np.random.default_rng(seed + 5)
+        began = _time.perf_counter()
+        for _ in range(8):
+            inserts = workload_rng.integers(
+                0, (1 << 32) - 1, size=128, dtype=np.uint64
+            ).astype(np.uint32)
+            subject.update_batch(
+                insert_keys=inserts,
+                insert_row_ids=np.arange(128, dtype=np.uint32),
+            )
+            subject.point_lookup_batch(
+                workload_rng.choice(keyset.keys, size=256)
+            )
+        wall_ms = (_time.perf_counter() - began) * 1e3
+        wal_bytes = (
+            subject.store.counters["wal_bytes"] if subject.store is not None else 0
+        )
+        fsyncs = (
+            subject.store.backend.counters["fsyncs"]
+            if subject.store is not None
+            else 0
+        )
+        return {"wall_ms": wall_ms, "wal_bytes": wal_bytes, "fsyncs": fsyncs}
+
+    baseline = timed_workload(None, True)
+    for mode, store_fsync in (("wal", False), ("wal+fsync", True)):
+        mode_root = tempfile.mkdtemp(prefix="repro-durability-")
+        timing = timed_workload(mode_root, store_fsync)
+        shutil.rmtree(mode_root, ignore_errors=True)
+        result.add(
+            panel="c_wal_overhead",
+            mode=mode,
+            wall_ms=timing["wall_ms"],
+            baseline_wall_ms=baseline["wall_ms"],
+            overhead_pct=100.0 * (timing["wall_ms"] / baseline["wall_ms"] - 1.0),
+            wal_bytes=timing["wal_bytes"],
+            fsyncs=timing["fsyncs"],
+        )
+    return result
+
+
 # --------------------------------------------------------------------------
 # Running everything
 # --------------------------------------------------------------------------
@@ -1920,7 +2229,20 @@ ALL_EXPERIMENTS = {
     "lifecycle": lifecycle,
     "obs": observability,
     "adaptive": adaptive,
+    "durability": durability,
 }
+
+
+def list_experiments() -> List[str]:
+    """One ``name — summary`` line per experiment, in registry order."""
+    lines = []
+    width = max(len(name) for name in ALL_EXPERIMENTS)
+    for name, function in ALL_EXPERIMENTS.items():
+        doc = (function.__doc__ or "").strip()
+        summary = doc.splitlines()[0] if doc else ""
+        summary = summary.split(".  ")[0].rstrip(".")
+        lines.append(f"{name:<{width}}  {summary}")
+    return lines
 
 
 def run_all(
@@ -1954,7 +2276,8 @@ def main() -> None:
     snapshots are produced exactly this way.  The directory is bound with
     ``=`` so experiment names are never mistaken for an output path.
     ``--quick`` shrinks the workloads of experiments that support it (used by
-    the CI perf-smoke job).
+    the CI perf-smoke job).  ``--list`` prints every experiment name with a
+    one-line description and exits.
     """
     import sys
 
@@ -1968,6 +2291,10 @@ def main() -> None:
             json_dir = argument[len("--json="):] or "."
         elif argument == "--quick":
             quick = True
+        elif argument == "--list":
+            for line in list_experiments():
+                print(line)
+            return
         else:
             arguments.append(argument)
     names = arguments or None

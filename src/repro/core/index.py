@@ -71,6 +71,8 @@ class CgRXIndex(GpuIndex):
         self.mapping = KeyMapping.for_key_bits(
             self.config.key_bits, scaled=self.config.scaled_mapping
         )
+        #: Build generation, bumped by the snapshot lifecycle on replacement.
+        self.epoch = 0
         self._build(keys, row_ids)
 
     # ------------------------------------------------------------------ build
@@ -326,6 +328,28 @@ class CgRXIndex(GpuIndex):
         for part in self.build_stats:
             rebuild_stats.merge(part)
         return UpdateResult(inserted=inserted, deleted=deleted, stats=rebuild_stats, rebuilt=True)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def export_entries(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The authoritative sorted entry arrays (copies)."""
+        return self.bucketed.keys.copy(), self.bucketed.row_ids.copy()
+
+    def snapshot(self):
+        """Freeze the current entries for the epoch rebuild lifecycle."""
+        from repro.core.updatable import IndexSnapshot
+
+        keys, row_ids = self.export_entries()
+        return IndexSnapshot(keys=keys, row_ids=row_ids, config=self.config, epoch=self.epoch)
+
+    @classmethod
+    def build_from_snapshot(cls, snapshot, device: GpuDevice = RTX_4090) -> "CgRXIndex":
+        """Bulk-load a replacement index; its epoch supersedes the snapshot's."""
+        replacement = cls(
+            snapshot.keys, snapshot.row_ids, config=snapshot.config, device=device
+        )
+        replacement.epoch = snapshot.epoch + 1
+        return replacement
 
     # ----------------------------------------------------------------- memory
 

@@ -89,6 +89,10 @@ class MaintenancePolicy:
     #: Trim the result cache once this fraction of its entries is negative
     #: (negative entries crowd out the positive hits the cache exists for).
     negative_trim_fraction: float = 0.5
+    #: Take a durable checkpoint of a shard (and truncate its WAL) once this
+    #: many WAL records accumulated behind the previous checkpoint.  Only
+    #: active when the deployment has a store attached.
+    checkpoint_wal_records: int = 32
     #: Give up on a task after this many failed attempts.
     max_attempts: int = 3
 
@@ -249,12 +253,35 @@ def trim_negative_cache(worker: "MaintenanceWorker", task: MaintenanceTask) -> O
     return KernelStats(name="serve.cache_trim", launches=0)
 
 
+@queueable
+def checkpoint_shard(worker: "MaintenanceWorker", task: MaintenanceTask) -> Optional[KernelStats]:
+    """Take a durable checkpoint of one shard and truncate its WAL behind it.
+
+    The checkpoint captures the shard's authoritative entries at its current
+    LSN — the same state the epoch snapshot lifecycle rebuilds from — so a
+    later recovery replays only the records that arrived after it.
+    Idempotent: completes as a no-op when no store is attached or the WAL
+    backlog dropped back below the policy threshold before the task ran.
+    """
+    if worker.store is None:
+        return None
+    if worker.store.wal_backlog(task.shard_id) < worker.policy.checkpoint_wal_records:
+        return None
+    shard = worker.router.shards[task.shard_id]
+    keys, row_ids, lsn, epoch = worker.store.shard_durable_state(shard)
+    worker.store.checkpoint(task.shard_id, keys, row_ids, lsn, epoch)
+    worker.checkpoints_performed += 1
+    # Host/storage-side work only: a zero-launch kernel marks the task done.
+    return KernelStats(name=f"serve.checkpoint_shard_{task.shard_id}", launches=0)
+
+
 #: Maintenance tier a task's device time is accounted under.
 TASK_TIERS: Dict[str, str] = {
     "compact_shard": "compact",
     "rebuild_shard": "rebuild",
     "resync_replicas": "resync",
     "trim_negative_cache": "cache",
+    "checkpoint_shard": "checkpoint",
 }
 
 
@@ -293,6 +320,11 @@ class MaintenanceWorker:
         #: Number of committed shard splits / merges.
         self.splits_performed: int = 0
         self.merges_performed: int = 0
+        #: Durable tier (:class:`repro.store.DeploymentStore`); when attached,
+        #: the scan also queues checkpoint tasks against WAL backlog.
+        self.store = None
+        #: Number of durable checkpoints actually taken (no-ops excluded).
+        self.checkpoints_performed: int = 0
         #: Simulated time of the cycle currently executing (for task bodies).
         self.now_ms: float = 0.0
 
@@ -344,6 +376,14 @@ class MaintenanceWorker:
             recovering = getattr(shard.index, "recovering_replicas", None)
             if callable(recovering) and recovering():
                 task = self.queue.enqueue("resync_replicas", shard.shard_id, now_ms)
+                if task is not None:
+                    enqueued.append(task)
+            if (
+                self.store is not None
+                and self.store.wal_backlog(shard.shard_id)
+                >= self.policy.checkpoint_wal_records
+            ):
+                task = self.queue.enqueue("checkpoint_shard", shard.shard_id, now_ms)
                 if task is not None:
                     enqueued.append(task)
         if (
@@ -533,6 +573,7 @@ class MaintenanceWorker:
             "resyncs_performed": self.resyncs_performed,
             "splits_performed": self.splits_performed,
             "merges_performed": self.merges_performed,
+            "checkpoints_performed": self.checkpoints_performed,
             "maintenance_time_ms": self.maintenance_time_ms,
             "rebuild_peak_bytes": int(getattr(self.router, "rebuild_peak_bytes", 0)),
         }

@@ -38,6 +38,9 @@ MAINTENANCE_DEVICE_METRIC = "serve_maintenance_device_ms_total"
 TENANT_REQUESTS_METRIC = "serve_tenant_requests_total"
 TENANT_LATENCY_METRIC = "serve_tenant_latency_ms"
 SHED_METRIC = "serve_shed_total"
+RECOVERY_LATENCY_METRIC = "serve_recovery_ms"
+WAL_BYTES_METRIC = "serve_wal_bytes_total"
+CHECKPOINT_BYTES_METRIC = "serve_checkpoint_bytes_total"
 
 
 class LatencyHistogram:
@@ -132,6 +135,8 @@ class MetricsRegistry:
         self.latency = self._histogram(LATENCY_METRIC)
         #: Detection-plus-retry latency of every read failover (replication).
         self.failover_latency = self._histogram(FAILOVER_LATENCY_METRIC)
+        #: Host wall-clock time of every checkpoint+WAL shard recovery.
+        self.recovery_latency = self._histogram(RECOVERY_LATENCY_METRIC)
         #: Timestamps bounding the served stream (for throughput).
         self.first_arrival_ms: Optional[float] = None
         self.last_completion_ms: Optional[float] = None
@@ -261,6 +266,30 @@ class MetricsRegistry:
             SHED_METRIC, tenant=str(int(tenant_id)), reason=str(reason)
         ).inc()
         self.bump("requests_shed")
+
+    def record_wal_append(self, shard_id: int, num_bytes: int, fsynced: bool) -> None:
+        """One acknowledged write batch was durably logged before its ack."""
+        self.telemetry.counter(WAL_BYTES_METRIC, shard=str(int(shard_id))).inc(
+            int(num_bytes)
+        )
+        self.bump("wal_appends")
+        self.bump("wal_bytes", int(num_bytes))
+        if fsynced:
+            self.bump("wal_fsyncs")
+
+    def record_checkpoint(self, shard_id: int, num_bytes: int) -> None:
+        """One durable checkpoint was taken (and the WAL truncated behind it)."""
+        self.telemetry.counter(CHECKPOINT_BYTES_METRIC, shard=str(int(shard_id))).inc(
+            int(num_bytes)
+        )
+        self.bump("checkpoints")
+        self.bump("checkpoint_bytes", int(num_bytes))
+
+    def record_recovery(self, shard_id: int, duration_ms: float, replayed: int) -> None:
+        """One shard was recovered from checkpoint + WAL tail."""
+        self.recovery_latency.record(float(duration_ms))
+        self.bump("recoveries")
+        self.bump("wal_records_replayed", int(replayed))
 
     def record_shard_batch(self, shard_id: int, batch_size: int, busy_ms: float) -> None:
         shard = str(int(shard_id))
@@ -410,6 +439,9 @@ class MetricsRegistry:
                 snapshot[f"tenant_{tenant}_requests"] = histogram.count
                 snapshot[f"tenant_{tenant}_p50_ms"] = histogram.percentile(50.0)
                 snapshot[f"tenant_{tenant}_p99_ms"] = histogram.percentile(99.0)
+        if len(self.recovery_latency):
+            snapshot["recovery_mean_ms"] = self.recovery_latency.mean_ms
+            snapshot["recovery_max_ms"] = self.recovery_latency.max_ms
         shed_requests = self.shed_requests
         if shed_requests:
             for (tenant, reason), count in sorted(shed_requests.items()):

@@ -214,6 +214,11 @@ class ReplicaGroup:
         #: is the shared disabled tracer, so every emission site is a cheap
         #: ``enabled`` check.
         self.tracer = NULL_TRACER
+        #: Durable tier (:class:`repro.store.DeploymentStore`); when attached,
+        #: every acknowledged write batch is WAL-logged before its ack and a
+        #: recovering replica restores from checkpoint + WAL tail instead of
+        #: copying a live peer.
+        self.store = None
         self.counters: Dict[str, int] = {}
         #: Closed unavailability windows ``(start_ms, end_ms)``.
         self.unavailability_windows: List[Tuple[float, float]] = []
@@ -310,6 +315,20 @@ class ReplicaGroup:
         if not self.available_replicas() and self._unavailable_since is None:
             self._unavailable_since = float(now_ms)
 
+    def process_kill(self, replica_id: int, now_ms: float) -> None:
+        """Whole-process crash: the replica's index and apply state die with it.
+
+        Unlike :meth:`crash` (whose in-memory index survives for a warm
+        restart), recovery after a process kill must rebuild state from
+        scratch — from the durable store when one is attached, else from the
+        authoritative snapshot.
+        """
+        replica = self.replica(replica_id)
+        self.crash(replica_id, now_ms)
+        replica.index = None
+        replica.applied_lsn = 0
+        self._bump("process_kills")
+
     def end_outage(self, replica_id: int, now_ms: float) -> None:
         """One outage of a crashed replica ended; it starts recovering only
         when no overlapping outage is still active, and must resync before
@@ -384,6 +403,13 @@ class ReplicaGroup:
             return combine(f"serve.resync_s{self.shard_id}r{replica.replica_id}", parts)
         replica.state = RECOVERING
 
+        if self.store is not None and replica.index is None and self.keys.size:
+            # Durable restore: a process-killed replica rebuilds from the
+            # latest checkpoint plus the WAL tail instead of copying a live
+            # peer.  If the durable state trails the group LSN (it should
+            # not: every ack was logged first), the paths below top it off.
+            parts.extend(self._restore_replica_durable(replica))
+
         log_start = self.log[0].lsn if self.log else self.lsn + 1
         replayable = (
             replica.index is not None
@@ -420,6 +446,25 @@ class ReplicaGroup:
         replica.pending_transient = 0
         self._maybe_close_window()
         return combine(f"serve.resync_s{self.shard_id}r{replica.replica_id}", parts)
+
+    def _restore_replica_durable(self, replica: Replica) -> List[KernelStats]:
+        """Rebuild one replica from the durable store (checkpoint + WAL tail)."""
+        recovery = self.store.recover_shard(self.shard_id)
+        if recovery.keys.size == 0 and recovery.lsn == 0:
+            return []  # nothing durable yet; the snapshot path takes over
+        keyset = KeySet(
+            keys=recovery.keys.copy(),
+            row_ids=recovery.row_ids.copy(),
+            key_bits=self.key_bits,
+            description=(
+                f"shard {self.shard_id} replica {replica.replica_id} (durable restore)"
+            ),
+        )
+        replica.index = self.factory(keyset, self.device)
+        replica.builds += 1
+        replica.applied_lsn = recovery.lsn
+        self._bump("resyncs_durable")
+        return list(replica.index.build_stats)
 
     # ------------------------------------------------------------------ reads
 
@@ -632,6 +677,13 @@ class ReplicaGroup:
         )
         if len(self.log) > self.config.log_capacity:
             del self.log[: len(self.log) - self.config.log_capacity]
+        if self.store is not None:
+            # Durability barrier: the WAL append happens before any replica
+            # applies and before the quorum ack — an acknowledged write is on
+            # disk by definition.
+            self.store.log_batch(
+                self.shard_id, self.lsn, insert_keys, insert_row_ids, delete_keys
+            )
 
         parts: List[KernelStats] = []
         acked = 0
@@ -739,6 +791,17 @@ class ReplicaGroup:
             if replica.state == HEALTHY:
                 parts.extend(self._build_replica(replica))
                 replica.applied_lsn = self.lsn
+        if self.store is not None:
+            # The reload bumped the LSN without a WAL record; checkpointing
+            # here keeps the durable state exactly at the group LSN.
+            epoch = next(
+                (
+                    int(getattr(replica.index, "epoch", 0))
+                    for replica in self.available_replicas()
+                ),
+                0,
+            )
+            self.store.checkpoint(self.shard_id, self.keys, self.row_ids, self.lsn, epoch)
         self._bump("reloads")
         return parts
 
@@ -977,7 +1040,7 @@ class FailureEvent:
     """One scheduled fault against a specific replica."""
 
     at_ms: float
-    kind: str  # "crash" | "slow" | "transient"
+    kind: str  # "crash" | "process_kill" | "slow" | "transient"
     shard_id: int
     replica_id: int
     #: Outage / slowdown length (crash and slow events).
@@ -988,7 +1051,7 @@ class FailureEvent:
     error_count: int = 1
 
     def __post_init__(self) -> None:
-        if self.kind not in ("crash", "slow", "transient"):
+        if self.kind not in ("crash", "process_kill", "slow", "transient"):
             raise ValueError(f"unknown failure kind {self.kind!r}")
 
 
@@ -1071,7 +1134,7 @@ class FailureInjector:
             # short.
             if group.replica(event.replica_id).incarnation != incarnation:
                 return None
-            if event.kind == "crash":
+            if event.kind in ("crash", "process_kill"):
                 group.end_outage(event.replica_id, at_ms)
                 return f"{target} outage over (recovering)"
             group.clear_slow(event.replica_id, event.slow_factor)
@@ -1085,6 +1148,15 @@ class FailureInjector:
                 incarnation=group.replica(event.replica_id).incarnation,
             )
             return f"{target} crashed for {event.duration_ms:g}ms"
+        if event.kind == "process_kill":
+            group.process_kill(event.replica_id, at_ms)
+            self._push(
+                at_ms + event.duration_ms,
+                "end",
+                event,
+                incarnation=group.replica(event.replica_id).incarnation,
+            )
+            return f"{target} process killed for {event.duration_ms:g}ms"
         if event.kind == "slow":
             group.set_slow(event.replica_id, event.slow_factor)
             self._push(

@@ -173,6 +173,10 @@ class ShardRouter:
         #: Span sink; the deployment points this at its tracer (the shared
         #: disabled tracer by default, so emission sites cost one flag check).
         self.tracer = NULL_TRACER
+        #: Durable tier; when attached, every acknowledged write batch of a
+        #: plain (unreplicated) shard is WAL-logged here before it returns.
+        #: Replica groups carry their own store reference and log themselves.
+        self.store = None
         #: Per-shard breakdown of the most recent scattered call.
         self.last_calls: List[ShardCall] = []
         #: Largest deployment footprint observed during a rebuild — for
@@ -242,9 +246,14 @@ class ShardRouter:
         if (
             live is not None
             and shard.num_entries > 0
+            and live.supports_updates
             and hasattr(live, "snapshot")
             and hasattr(live, "build_from_snapshot")
         ):
+            # Only native updaters rebuild via their own snapshot: their live
+            # entries track every write.  A rebuild-fallback index (cgRX) is
+            # rebuilt from the authoritative arrays, which may already be
+            # ahead of the live index within this very update.
             return live.build_from_snapshot(live.snapshot(), device=self.device)
         # Empty shards (or index types without a snapshot lifecycle) rebuild
         # from the authoritative arrays; an emptied shard's replacement is
@@ -843,6 +852,18 @@ class ShardRouter:
                 )
                 parts.append(self.rebuild_shard(int(shard_id)))
                 any_rebuilt = True
+
+            if self.store is not None and getattr(shard.index, "store", None) is None:
+                # Plain shards have no replication log; the shard version
+                # (bumped exactly once above) is their LSN.  Replica groups
+                # WAL-logged this batch themselves before acknowledging.
+                self.store.log_batch(
+                    int(shard_id),
+                    shard.version,
+                    shard_inserts,
+                    shard_insert_rows,
+                    shard_deletes,
+                )
 
         stats = combine("serve.update", parts)
         return UpdateResult(inserted=inserted, deleted=deleted, stats=stats, rebuilt=any_rebuilt)

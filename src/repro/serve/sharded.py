@@ -16,7 +16,7 @@ worker (off the request path) rather than in the foreground results.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 import numpy as np
@@ -44,6 +44,7 @@ from repro.serve.replication import (
     SimulatedClock,
 )
 from repro.serve.router import ShardFactory, ShardRouter
+from repro.store import DeploymentStore, LocalDirBackend
 from repro.workloads.keygen import KeySet
 from repro.workloads.requests import RequestStream
 
@@ -120,6 +121,19 @@ class ServeConfig:
     reshard_max_shards: int = 64
     #: Never split a shard storing fewer entries than this.
     reshard_min_split_entries: int = 128
+    #: Durable-tier directory: when set, the deployment attaches a
+    #: :class:`repro.store.DeploymentStore` over a
+    #: :class:`repro.store.LocalDirBackend` rooted here — every acknowledged
+    #: write batch is WAL-logged before its ack, the maintenance worker takes
+    #: periodic checkpoints, and :meth:`ShardedIndex.cold_start` can rebuild
+    #: the deployment from the directory after a process exit.
+    store_dir: Optional[str] = None
+    #: Whether every durable put carries an fsync barrier (the overhead knob
+    #: the durability experiment measures).
+    store_fsync: bool = True
+    #: WAL records accumulated behind a checkpoint before the maintenance
+    #: worker takes the next one.
+    checkpoint_wal_records: int = 32
 
     def describe(self) -> str:
         cache = f"cache={self.cache_capacity}" if self.cache_capacity else "no-cache"
@@ -242,6 +256,7 @@ class ShardedIndex(GpuIndex):
                 compact_threshold=self.config.compact_threshold,
                 compact_max_buckets=self.config.compact_max_buckets,
                 rebuild_mode=self.config.rebuild_mode,
+                checkpoint_wal_records=self.config.checkpoint_wal_records,
             ),
             cache=self.cache,
             reshard_policy=ReshardPolicy(
@@ -253,6 +268,11 @@ class ShardedIndex(GpuIndex):
                 max_shards=self.config.reshard_max_shards,
             ),
         )
+        #: Durable tier (armed via ``ServeConfig.store_dir`` or
+        #: :meth:`attach_store`); ``None`` keeps the deployment memory-only.
+        self.store: Optional[DeploymentStore] = None
+        #: Per-shard recovery reports of the last :meth:`cold_start`.
+        self.last_recovery: Optional[dict] = None
         #: Request tracer on the simulated clock (spans only when armed via
         #: ``ServeConfig.tracing`` or by flipping ``tracer.enabled``).
         self.tracer = Tracer(clock=self.clock, enabled=self.config.tracing)
@@ -294,6 +314,101 @@ class ShardedIndex(GpuIndex):
             if shard.index is not None
             for stats in shard.index.build_stats
         ]
+        if self.config.store_dir:
+            self.attach_store(
+                DeploymentStore(
+                    LocalDirBackend(self.config.store_dir, fsync=self.config.store_fsync),
+                    key_bits=self.config.key_bits,
+                )
+            )
+
+    # ------------------------------------------------------------- durability
+
+    def attach_store(self, store: DeploymentStore) -> DeploymentStore:
+        """Arm the durable tier: WAL-before-ack plus periodic checkpoints.
+
+        Attaching *rebases* the store on the deployment's current state —
+        every shard gets a fresh checkpoint at its current LSN and stale WAL
+        records are dropped — so attach is also how a recovered deployment
+        re-arms durability after :meth:`cold_start`.
+        """
+        store.metrics = self.metrics
+        store.tracer = self.tracer
+        store.clock = self.clock
+        store.key_bits = self.config.key_bits
+        self.store = store
+        self.router.store = store
+        self.maintenance.store = store
+        if isinstance(self.router, ReplicatedShardRouter):
+            for group in self.router.groups.values():
+                group.store = store
+        store.checkpoint_deployment(self.router)
+        return store
+
+    @classmethod
+    def cold_start(
+        cls,
+        store: DeploymentStore,
+        factory: Optional[ShardFactory] = None,
+        config: Optional[ServeConfig] = None,
+        device: GpuDevice = RTX_4090,
+    ) -> "ShardedIndex":
+        """Rebuild a deployment from its durable store after a process exit.
+
+        Every shard is recovered to the latest valid checkpoint plus its WAL
+        tail (torn tail records truncated, corrupt ones skipped and counted),
+        the deployment is bulk-loaded from the recovered entries, and the
+        store is re-attached (rebased) so serving continues durably.  The
+        per-shard recovery reports land in :attr:`last_recovery`.
+        """
+        manifest = store.read_manifest()
+        config = config or ServeConfig()
+        # The passed store is re-attached below; store_dir=None keeps the
+        # constructor from arming a second one over the same directory.
+        config = replace(
+            config,
+            num_shards=int(manifest["num_shards"]),
+            partitioner=str(manifest["partitioner"]),
+            key_bits=int(manifest["key_bits"]),
+            store_dir=None,
+        )
+        recoveries = [
+            store.recover_shard(shard_id)
+            for shard_id in range(int(manifest["num_shards"]))
+        ]
+        key_dtype = np.uint32 if config.key_bits == 32 else np.uint64
+        keys = np.concatenate(
+            [recovery.keys for recovery in recoveries]
+            or [np.empty(0, dtype=key_dtype)]
+        ).astype(key_dtype)
+        row_ids = np.concatenate(
+            [recovery.row_ids for recovery in recoveries]
+            or [np.empty(0, dtype=np.uint32)]
+        ).astype(np.uint32)
+        deployment = cls(
+            keys, row_ids, factory=factory, config=config, device=device
+        )
+        deployment.attach_store(store)
+        deployment.last_recovery = {
+            "num_shards": len(recoveries),
+            "entries_recovered": int(sum(r.num_entries for r in recoveries)),
+            "records_replayed": int(sum(r.replayed for r in recoveries)),
+            "torn_truncated": int(sum(r.torn_truncated for r in recoveries)),
+            "corrupt_skipped": int(sum(r.corrupt_skipped for r in recoveries)),
+            "recovery_wall_ms": float(sum(r.wall_ms for r in recoveries)),
+            "shards": [
+                {
+                    "shard_id": r.shard_id,
+                    "entries": r.num_entries,
+                    "checkpoint_lsn": r.checkpoint_lsn,
+                    "lsn": r.lsn,
+                    "replayed": r.replayed,
+                    "wall_ms": r.wall_ms,
+                }
+                for r in recoveries
+            ],
+        }
+        return deployment
 
     # ------------------------------------------------------------------ build
 
@@ -395,6 +510,9 @@ class ShardedIndex(GpuIndex):
         records too (not just request latency)."""
         self.maintenance.metrics = metrics
         self.maintenance.tracer = self.tracer
+        if self.store is not None:
+            self.store.metrics = metrics
+            self.store.tracer = self.tracer
         if isinstance(self.router, ReplicatedShardRouter):
             for group in self.router.groups.values():
                 group.metrics = metrics
@@ -704,6 +822,10 @@ class ShardedIndex(GpuIndex):
         # charge the new shards for batches the old ones ran.
         self._device_busy_until = {}
         metrics.num_shards = self.router.num_shards
+        if self.store is not None:
+            # Shard ids (and their LSN sequences) renumbered: rebase the
+            # durable namespaces on the committed topology.
+            self.store.checkpoint_deployment(self.router)
         return self.router.partitioner.shard_of(np.asarray(stream.keys))
 
     def _commit_pending_fills(self, now_ms: float) -> None:

@@ -1,0 +1,46 @@
+"""Durable storage: pluggable backends, per-shard WALs and checkpoints.
+
+The serving stack's replication log and epoch snapshots are in-memory
+constructs; this package is what survives a process exit.  A
+:class:`StorageBackend` is an object-store-shaped interface (put / get /
+exists / list / delete, in the mould of the CloudFiles usage the taskqueue
+exemplars follow) with a :class:`LocalDirBackend` for local directories and
+an :class:`InMemoryBackend` for tests and fuzzing.  On top of it,
+:class:`ShardWal` keeps an LSN'd, checksummed write-ahead log per shard,
+:class:`CheckpointStore` keeps durable epoch-tagged checkpoints, and
+:class:`DeploymentStore` ties both into the crash-recovery contract the
+serving layer consumes: log every acknowledged write batch, checkpoint and
+truncate behind, and recover any shard to a byte-identical state from the
+latest valid checkpoint plus the WAL tail.
+"""
+
+from repro.store.backend import InMemoryBackend, LocalDirBackend, StorageBackend
+from repro.store.checkpoint import Checkpoint, CheckpointStore, decode_checkpoint, encode_checkpoint
+from repro.store.durability import DeploymentStore, ShardRecovery, replay_records
+from repro.store.wal import (
+    ShardWal,
+    WalCorruption,
+    WalReadResult,
+    WalRecord,
+    decode_record,
+    encode_record,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "DeploymentStore",
+    "InMemoryBackend",
+    "LocalDirBackend",
+    "ShardRecovery",
+    "ShardWal",
+    "StorageBackend",
+    "WalCorruption",
+    "WalReadResult",
+    "WalRecord",
+    "decode_checkpoint",
+    "decode_record",
+    "encode_checkpoint",
+    "encode_record",
+    "replay_records",
+]

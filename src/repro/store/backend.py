@@ -1,0 +1,200 @@
+"""Object-store-shaped storage backends.
+
+The interface is deliberately the shape of an object store client (the
+CloudFiles idiom the taskqueue exemplars use): flat named blobs under a
+prefix, ``put``/``get``/``exists``/``list``/``delete``, plus JSON
+conveniences and error-sidecar files.  There is no append and no rename in
+the contract — a WAL built on it writes one immutable object per record —
+so the same code paths work against a real object store later.
+
+:class:`LocalDirBackend` maps object names onto files under a root
+directory.  Writes go through a temporary file plus an atomic rename, with
+an ``fsync`` per object when durability is armed (the default), so a crash
+can leave at most a torn *final* object, never a half-overwritten old one.
+:class:`InMemoryBackend` keeps the objects in a dict — same semantics, no
+disk — for tests and the differential fuzzer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+
+class StorageBackend(ABC):
+    """Flat named-blob storage with object-store semantics.
+
+    Object names are ``/``-separated relative paths.  Every backend counts
+    its traffic (``puts``, ``gets``, ``deletes``, ``bytes_written``,
+    ``bytes_read``, ``fsyncs``) so the serving layer can report WAL and
+    checkpoint overhead without caring which backend is underneath.
+    """
+
+    def __init__(self, fsync: bool = True) -> None:
+        #: Whether every put carries a durability barrier.
+        self.fsync = bool(fsync)
+        self.counters: Dict[str, int] = {
+            "puts": 0,
+            "gets": 0,
+            "deletes": 0,
+            "bytes_written": 0,
+            "bytes_read": 0,
+            "fsyncs": 0,
+        }
+
+    # ------------------------------------------------------------ primitives
+
+    @abstractmethod
+    def _put(self, name: str, data: bytes) -> None:
+        ...
+
+    @abstractmethod
+    def _get(self, name: str) -> Optional[bytes]:
+        ...
+
+    @abstractmethod
+    def _delete(self, name: str) -> bool:
+        ...
+
+    @abstractmethod
+    def list(self, prefix: str = "") -> List[str]:
+        """All object names under ``prefix``, sorted ascending."""
+        ...
+
+    # -------------------------------------------------------------- surface
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not name or name.startswith("/") or ".." in name.split("/"):
+            raise ValueError(f"invalid object name {name!r}")
+        return name
+
+    def put(self, name: str, data: bytes) -> int:
+        """Store ``data`` under ``name`` (atomic replace); returns the size."""
+        name = self._check_name(name)
+        data = bytes(data)
+        self._put(name, data)
+        self.counters["puts"] += 1
+        self.counters["bytes_written"] += len(data)
+        if self.fsync:
+            self.counters["fsyncs"] += 1
+        return len(data)
+
+    def get(self, name: str) -> bytes:
+        data = self._get(self._check_name(name))
+        if data is None:
+            raise KeyError(f"no object named {name!r}")
+        self.counters["gets"] += 1
+        self.counters["bytes_read"] += len(data)
+        return data
+
+    def exists(self, name: str) -> bool:
+        return self._get(self._check_name(name)) is not None
+
+    def delete(self, name: str) -> bool:
+        """Remove an object; True when it existed."""
+        removed = self._delete(self._check_name(name))
+        if removed:
+            self.counters["deletes"] += 1
+        return removed
+
+    def size(self, name: str) -> int:
+        return len(self.get(name))
+
+    # ----------------------------------------------------------------- json
+
+    def put_json(self, name: str, payload: dict) -> int:
+        return self.put(name, json.dumps(payload, sort_keys=True).encode("utf-8"))
+
+    def get_json(self, name: str) -> dict:
+        return json.loads(self.get(name).decode("utf-8"))
+
+    def put_error(self, name: str, error: Exception | str) -> int:
+        """Error-sidecar file (the taskqueue idiom): ``<name>.error``."""
+        return self.put_json(f"{name}.error", {"error": str(error)})
+
+
+class InMemoryBackend(StorageBackend):
+    """Dict-backed backend: object-store semantics without a filesystem."""
+
+    def __init__(self, fsync: bool = True) -> None:
+        super().__init__(fsync=fsync)
+        self._objects: Dict[str, bytes] = {}
+
+    def _put(self, name: str, data: bytes) -> None:
+        self._objects[name] = data
+
+    def _get(self, name: str) -> Optional[bytes]:
+        return self._objects.get(name)
+
+    def _delete(self, name: str) -> bool:
+        return self._objects.pop(name, None) is not None
+
+    def list(self, prefix: str = "") -> List[str]:
+        return sorted(name for name in self._objects if name.startswith(prefix))
+
+
+class LocalDirBackend(StorageBackend):
+    """Backend over a local directory (the durable tier available everywhere).
+
+    Each object is one file under ``root``.  Puts write a temporary file in
+    the target directory, fsync it (when armed), then atomically rename it
+    over the destination — so an interrupted put never corrupts a
+    previously stored object, and a torn write is confined to the newest
+    object (exactly the failure the WAL reader knows how to truncate).
+    """
+
+    def __init__(self, root: str, fsync: bool = True) -> None:
+        super().__init__(fsync=fsync)
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.root, *name.split("/"))
+
+    def _put(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(
+            prefix=".put-", dir=os.path.dirname(path)
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+
+    def _get(self, name: str) -> Optional[bytes]:
+        path = self._path(name)
+        if not os.path.isfile(path):
+            return None
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def _delete(self, name: str) -> bool:
+        path = self._path(name)
+        if not os.path.isfile(path):
+            return False
+        os.unlink(path)
+        return True
+
+    def list(self, prefix: str = "") -> List[str]:
+        names: List[str] = []
+        for directory, _, files in os.walk(self.root):
+            for filename in files:
+                if filename.startswith(".put-"):
+                    continue  # abandoned temporary of an interrupted put
+                full = os.path.join(directory, filename)
+                name = os.path.relpath(full, self.root).replace(os.sep, "/")
+                if name.startswith(prefix):
+                    names.append(name)
+        return sorted(names)

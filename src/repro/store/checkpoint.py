@@ -1,0 +1,131 @@
+"""Durable, epoch-tagged shard checkpoints.
+
+A checkpoint serializes a shard's authoritative entry arrays — the same
+``IndexSnapshot`` state the epoch lifecycle rebuilds from — together with
+the LSN it is consistent with, framed and checksummed like a WAL record.
+Recovery takes the **latest valid** checkpoint: a corrupt one is skipped
+(with an error-sidecar file, the CloudFiles idiom) and the previous one is
+used, with the longer WAL tail making up the difference.  ``retain``
+controls how many generations are kept for exactly that fallback.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.store.backend import StorageBackend
+from repro.store.wal import WalCorruption
+
+_MAGIC = b"CKPT"
+_VERSION = 1
+#: magic, version, key-dtype code (bytes per key), lsn, epoch, n_entries
+_HEADER = struct.Struct("<4sHHQQQ")
+_CRC = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One decoded checkpoint: entries plus the LSN/epoch they capture."""
+
+    keys: np.ndarray
+    row_ids: np.ndarray
+    lsn: int
+    epoch: int
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.keys.shape[0])
+
+
+def encode_checkpoint(
+    keys: np.ndarray, row_ids: np.ndarray, lsn: int, epoch: int
+) -> bytes:
+    keys = np.ascontiguousarray(keys)
+    row_ids = np.ascontiguousarray(row_ids, dtype=np.uint32)
+    key_bytes = keys.dtype.itemsize
+    if key_bytes not in (4, 8):
+        raise ValueError(f"unsupported key dtype {keys.dtype}")
+    if row_ids.shape[0] != keys.shape[0]:
+        raise ValueError("row_ids must align with keys")
+    header = _HEADER.pack(
+        _MAGIC, _VERSION, key_bytes, int(lsn), int(epoch), int(keys.shape[0])
+    )
+    payload = header + keys.tobytes() + row_ids.tobytes()
+    return payload + _CRC.pack(zlib.crc32(payload))
+
+
+def decode_checkpoint(data: bytes) -> Checkpoint:
+    if len(data) < _HEADER.size + _CRC.size:
+        raise WalCorruption("checkpoint shorter than its framing")
+    magic, version, key_bytes, lsn, epoch, n_entries = _HEADER.unpack_from(data)
+    if magic != _MAGIC or version != _VERSION or key_bytes not in (4, 8):
+        raise WalCorruption("bad checkpoint header")
+    body_size = _HEADER.size + n_entries * (key_bytes + 4)
+    if len(data) != body_size + _CRC.size:
+        raise WalCorruption("checkpoint length does not match its header")
+    (crc,) = _CRC.unpack_from(data, body_size)
+    if zlib.crc32(data[:body_size]) != crc:
+        raise WalCorruption("checkpoint checksum mismatch")
+    key_dtype = np.uint32 if key_bytes == 4 else np.uint64
+    offset = _HEADER.size
+    keys = np.frombuffer(data, dtype=key_dtype, count=n_entries, offset=offset).copy()
+    offset += n_entries * key_bytes
+    row_ids = np.frombuffer(data, dtype=np.uint32, count=n_entries, offset=offset).copy()
+    return Checkpoint(keys=keys, row_ids=row_ids, lsn=int(lsn), epoch=int(epoch))
+
+
+class CheckpointStore:
+    """One shard's checkpoint generations under a backend prefix."""
+
+    def __init__(self, backend: StorageBackend, prefix: str, retain: int = 2) -> None:
+        if retain < 1:
+            raise ValueError("retain must be >= 1")
+        self.backend = backend
+        self.prefix = prefix.rstrip("/")
+        self.retain = int(retain)
+        #: Corrupt checkpoints encountered by :meth:`latest_valid`.
+        self.corrupt_skipped = 0
+
+    def _name(self, lsn: int) -> str:
+        return f"{self.prefix}/{int(lsn):020d}.ckpt"
+
+    def _names(self) -> List[str]:
+        return [
+            name
+            for name in self.backend.list(f"{self.prefix}/")
+            if name.endswith(".ckpt")
+        ]
+
+    def save(
+        self, keys: np.ndarray, row_ids: np.ndarray, lsn: int, epoch: int
+    ) -> int:
+        """Write a checkpoint and prune generations past ``retain``."""
+        written = self.backend.put(
+            self._name(lsn), encode_checkpoint(keys, row_ids, lsn, epoch)
+        )
+        names = self._names()
+        for stale in names[: max(0, len(names) - self.retain)]:
+            self.backend.delete(stale)
+            # An error sidecar of a skipped generation goes with it.
+            self.backend.delete(f"{stale}.error")
+        return written
+
+    def latest_valid(self) -> Optional[Checkpoint]:
+        """Newest checkpoint that decodes cleanly (corrupt ones are skipped).
+
+        A skipped generation leaves an ``.error`` sidecar naming the damage,
+        so the fallback is observable after the fact.
+        """
+        for name in reversed(self._names()):
+            try:
+                return decode_checkpoint(self.backend.get(name))
+            except WalCorruption as error:
+                self.corrupt_skipped += 1
+                if not self.backend.exists(f"{name}.error"):
+                    self.backend.put_error(name, error)
+        return None

@@ -32,6 +32,8 @@ def failure_schedule(
     mean_slowdown_ms: float = 6.0,
     slow_factor: float = 4.0,
     max_transient_errors: int = 3,
+    process_kills_per_s: float = 0.0,
+    mean_restart_ms: Optional[float] = None,
     spare_replica: Optional[int] = None,
     seed: int = 0,
 ) -> List[FailureEvent]:
@@ -46,6 +48,14 @@ def failure_schedule(
     with it set, at least that replica stays up and the deployment never
     needs an emergency restart; without it, total shard outages (and their
     unavailability windows) are possible and exercised.
+
+    ``process_kills_per_s`` adds whole-process crash/restart weather (off by
+    default): the killed replica loses its in-memory index and apply state
+    outright and must recover from the durable store (or a peer snapshot)
+    after ``mean_restart_ms`` (defaults to ``mean_outage_ms``).  The spare
+    replica, when set, is exempt from process kills too.  Process-kill draws
+    happen *after* every other fault class, so enabling them never changes
+    the schedule an existing seed produces for the classic classes.
     """
     from repro.serve.replication import FailureEvent
 
@@ -100,5 +110,19 @@ def failure_schedule(
                 error_count=int(rng.integers(1, max_transient_errors + 1)),
             )
         )
+    if process_kills_per_s > 0.0:
+        restart_ms = mean_outage_ms if mean_restart_ms is None else mean_restart_ms
+        for at_ms in draw_times(process_kills_per_s):
+            if not crashable:
+                break
+            events.append(
+                FailureEvent(
+                    at_ms=float(at_ms),
+                    kind="process_kill",
+                    shard_id=int(rng.integers(num_shards)),
+                    replica_id=int(rng.choice(crashable)),
+                    duration_ms=float(rng.exponential(restart_ms)),
+                )
+            )
     events.sort(key=lambda event: event.at_ms)
     return events

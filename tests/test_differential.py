@@ -3,11 +3,14 @@
 A seeded fuzzer drives random operation sequences — bulk build, point-lookup
 batches, range-lookup batches, update batches and **bucket compaction**
 (cgRXu's incremental maintenance, which must never change an answer) —
-against every baseline, ``CgRXuIndex``, a plain ``ShardedIndex`` deployment
-and a *replicated* ``ShardedIndex`` with failure injection running on the
-simulated clock.  The oracle is the authoritative entry array maintained
-with the shared update-application helpers; any implementation whose answers
-drift from it fails the fuzz.
+against every baseline, ``CgRXuIndex``, a plain ``ShardedIndex`` deployment,
+a *replicated* ``ShardedIndex`` with failure injection running on the
+simulated clock, and a *durable* replicated deployment whose weather also
+whole-process-kills replicas (recovered from the on-disk WAL + checkpoints)
+and which is randomly cold-restarted from disk mid-sequence — answers must
+be byte-identical after every recovery.  The oracle is the authoritative
+entry array maintained with the shared update-application helpers; any
+implementation whose answers drift from it fails the fuzz.
 
 Answer comparison is implementation-agnostic but exact:
 
@@ -27,6 +30,9 @@ implementation contract:
 """
 
 from __future__ import annotations
+
+import shutil
+import tempfile
 
 import numpy as np
 import pytest
@@ -71,7 +77,7 @@ FACTORIES = {
     "cgRXu[scalar]": lambda: cgrxu_factory(128, engine="scalar"),
 }
 
-CONFIGS = list(FACTORIES) + ["sharded", "replicated"]
+CONFIGS = list(FACTORIES) + ["sharded", "replicated", "durable"]
 
 
 class Oracle:
@@ -106,6 +112,12 @@ class SubjectUnderTest:
         self, name: str, keys: np.ndarray, row_ids: np.ndarray, tracing: bool = False
     ) -> None:
         self.name = name
+        self.store_dir = None
+        self.cold_restarts = 0
+        # Cumulative across cold restarts (each restart resets the live
+        # deployment's counters).
+        self.process_kills = 0
+        self.wal_appends = 0
         self.index = self._build(name, keys, row_ids, tracing)
 
     def _build(self, name, keys, row_ids, tracing):
@@ -130,6 +142,19 @@ class SubjectUnderTest:
                 tracing=tracing,
             )
             return ShardedIndex(keys, row_ids, factory=cgrxu_factory(128), config=config)
+        if name == "durable":
+            self.store_dir = tempfile.mkdtemp(prefix="repro-fuzz-durable-")
+            config = ServeConfig(
+                num_shards=4,
+                partitioner="hash",
+                key_bits=32,
+                cache_capacity=256,
+                replication_factor=3,
+                store_dir=self.store_dir,
+                checkpoint_wal_records=4,
+                tracing=tracing,
+            )
+            return ShardedIndex(keys, row_ids, factory=cgrxu_factory(128), config=config)
         keyset = KeySet(
             keys=keys.copy(), row_ids=row_ids.copy(), key_bits=32, description=name
         )
@@ -142,6 +167,30 @@ class SubjectUnderTest:
     @property
     def supports_range(self) -> bool:
         return bool(self.index.supports_range)
+
+    def cold_restart(self) -> None:
+        """Drop the deployment outright and recover it from the durable store.
+
+        Everything in memory — every replica, cache and queue — is gone; the
+        recovered deployment is rebuilt from checkpoints + WAL tails alone.
+        """
+        from repro.store import DeploymentStore, LocalDirBackend
+
+        self.process_kills += int(
+            self.index.replication_snapshot().get("process_kills", 0)
+        )
+        self.wal_appends += int(self.index.store.counters["wal_appends"])
+        store = DeploymentStore(LocalDirBackend(self.store_dir), key_bits=32)
+        self.index = ShardedIndex.cold_start(
+            store,
+            factory=cgrxu_factory(128),
+            config=ServeConfig(
+                cache_capacity=256,
+                replication_factor=3,
+                checkpoint_wal_records=4,
+            ),
+        )
+        self.cold_restarts += 1
 
     def rebuild(self, oracle: Oracle) -> None:
         """Deployment-style rebuild for index types without native updates."""
@@ -188,29 +237,58 @@ def run_fuzz(
     oracle = Oracle(keys, row_ids)
     subject = SubjectUnderTest(config_name, keys, row_ids, tracing=tracing)
 
-    # The replicated configuration runs under failure weather: crash, slow
-    # and transient events fire between ops as the simulated clock advances.
-    injector = None
-    if config_name == "replicated":
-        injector = subject.index.inject_failures(
-            failure_schedule(
-                num_shards=4,
-                replication_factor=3,
-                duration_ms=float(steps),
-                crashes_per_s=80_000.0,  # rates are per second; 1ms per step
-                slowdowns_per_s=40_000.0,
-                transients_per_s=160_000.0,
-                mean_outage_ms=2.0,
-                seed=seed + 1,
-            )
+    # The replicated configurations run under failure weather: crash, slow
+    # and transient events fire between ops as the simulated clock advances;
+    # the durable one adds whole-process kills (in-memory state wiped,
+    # recovered from the on-disk WAL + checkpoints).
+    def make_weather(from_step: int):
+        return failure_schedule(
+            num_shards=4,
+            replication_factor=3,
+            duration_ms=float(steps),
+            crashes_per_s=80_000.0,  # rates are per second; 1ms per step
+            slowdowns_per_s=40_000.0,
+            transients_per_s=160_000.0,
+            mean_outage_ms=2.0,
+            process_kills_per_s=40_000.0 if config_name == "durable" else 0.0,
+            seed=seed + 1 + from_step,
         )
+
+    injector = None
+    if config_name in ("replicated", "durable"):
+        injector = subject.index.inject_failures(make_weather(0))
+
+    ops = ["point", "range", "update", "compact"]
+    probabilities = [0.35, 0.25, 0.3, 0.1]
+    if config_name == "durable":
+        # A cold restart from disk rides along with every other op kind.
+        ops, probabilities = ops + ["restart"], [0.3, 0.22, 0.28, 0.1, 0.1]
 
     for step in range(1, steps + 1):
         if injector is not None:
             if injector.poll(float(step)):
                 subject.index.maintenance.run_cycle(float(step))
 
-        op = rng.choice(["point", "range", "update", "compact"], p=[0.35, 0.25, 0.3, 0.1])
+        op = rng.choice(ops, p=probabilities)
+        if op == "restart":
+            # The whole process dies: recover from disk and prove every
+            # acknowledged write survived, byte for byte, before going on.
+            subject.cold_restart()
+            injector = subject.index.inject_failures(make_weather(step))
+            probe = np.concatenate(
+                [np.unique(oracle.keys), _absent_keys(rng, oracle, 8)]
+            ).astype(np.uint32)
+            result = subject.index.point_lookup_batch(probe)
+            expected_agg, expected_counts = oracle.point(probe)
+            np.testing.assert_array_equal(
+                result.row_ids, expected_agg,
+                err_msg=f"{config_name}: answers diverged after cold restart at step {step}",
+            )
+            np.testing.assert_array_equal(
+                result.match_counts, expected_counts,
+                err_msg=f"{config_name}: counts diverged after cold restart at step {step}",
+            )
+            continue
         if op == "compact":
             # Interleaved incremental maintenance: compact random buckets of
             # a cgRXu index (both engines), or the hottest chains of a random
@@ -302,6 +380,8 @@ def run_fuzz(
             np.asarray([np.iinfo(np.uint32).max], dtype=np.uint32),
         )
         np.testing.assert_array_equal(np.sort(full.row_ids[0]), np.sort(oracle.row_ids))
+    if subject.store_dir is not None:
+        shutil.rmtree(subject.store_dir, ignore_errors=True)
     return subject, oracle
 
 
@@ -316,6 +396,17 @@ def test_differential_fuzz_replicated_sees_failures():
     snapshot = subject.index.replication_snapshot()
     assert snapshot["crashes"] >= 1
     assert subject.index.failures is not None and subject.index.failures.log
+
+
+def test_differential_fuzz_durable_recovers_from_disk():
+    """The durable fuzz run actually loses processes and recovers from disk."""
+    subject, _ = run_fuzz("durable", seed=7, steps=32)
+    snapshot = subject.index.replication_snapshot()
+    kills = subject.process_kills + int(snapshot.get("process_kills", 0))
+    appends = subject.wal_appends + int(subject.index.store.counters["wal_appends"])
+    assert kills >= 1
+    assert subject.cold_restarts >= 1
+    assert appends >= 1
 
 
 def test_differential_fuzz_replicated_traced_is_behavior_neutral():
