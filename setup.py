@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-cgrx",
-    version="1.5.0",
+    version="1.6.0",
     description=(
         "Software reproduction of cgRX (ICDE 2025): hardware-accelerated "
         "coarse-granular GPU indexing, with a vectorized batch execution "

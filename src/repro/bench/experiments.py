@@ -2205,6 +2205,288 @@ def durability(
     return result
 
 
+def tail_reliability(
+    num_keys: int = 1 << 12,
+    num_requests: int = 1 << 11,
+    num_shards: int = 4,
+    replication_factor: int = 3,
+    requests_per_ms: float = 64.0,
+    miss_fraction: float = 0.05,
+    max_batch_size: int = 64,
+    max_wait_ms: float = 0.5,
+    deadline_ms: float = 2.0,
+    hedge_quantile: float = 0.9,
+    storm_slow_factor: float = 64.0,
+    quick: bool = False,
+    seed: int = 71,
+) -> ExperimentResult:
+    """Tail tolerance: hedging + deadlines holding p99.9 under gray weather.
+
+    Three panels, cache off so every request exercises a replica read and the
+    served answers can be byte-compared against a single-instance oracle:
+
+    * ``a_latency_storm`` — the same stream + metastable latency-storm
+      weather served by four configurations (no reliability, deadlines only,
+      hedged reads only, hedged + deadlines): exact p99/p99.9, hedge
+      win/loss accounting, deadline-exceeded fractions, and the oracle check
+      over every *complete* (unmasked) answer.
+    * ``b_degradation`` — correlated whole-group outages with no spare:
+      explicit partial results (`unavailable` mask) vs stale reads from the
+      durable store; stale answers are themselves oracle-checked (no writes
+      since the checkpoint, so stale == fresh bytes).
+    * ``c_write_safety`` — quorum write waves under the same storm weather
+      with the full reliability stack armed: post-wave probes prove zero
+      acknowledged-write loss.
+    """
+    import shutil
+    import tempfile
+
+    from repro.baselines.sorted_array import SortedArrayIndex
+    from repro.bench.harness import sharded_factory
+    from repro.serve.reliability import ReliabilityConfig
+    from repro.serve.router import apply_update_to_entries
+    from repro.workloads.failures import failure_schedule
+    from repro.workloads.requests import zipf_request_stream
+
+    if quick:
+        num_requests = min(num_requests, 768)
+    result = ExperimentResult(
+        name="reliability",
+        description="Tail-tolerant serving under gray-failure weather",
+        parameters={
+            "num_keys": num_keys,
+            "num_requests": num_requests,
+            "num_shards": num_shards,
+            "replication_factor": replication_factor,
+            "deadline_ms": deadline_ms,
+            "hedge_quantile": hedge_quantile,
+            "storm_slow_factor": storm_slow_factor,
+            "quick": quick,
+        },
+    )
+    keyset = generate_keys(num_keys, uniformity=0.5, key_bits=32, seed=seed)
+    oracle = SortedArrayIndex(keyset.keys, keyset.row_ids, key_bits=32)
+    stream = zipf_request_stream(
+        keyset,
+        num_requests,
+        zipf_coefficient=1.0,
+        requests_per_ms=requests_per_ms,
+        miss_fraction=miss_fraction,
+        seed=seed + 1,
+    )
+    stream_expected = oracle.point_lookup_batch(stream.keys.astype(np.uint32))
+
+    def deployment(
+        reliability: Optional[ReliabilityConfig],
+        inner: Optional[IndexFactory] = None,
+        **serve_kwargs,
+    ):
+        factory = sharded_factory(
+            inner=inner or cgrx_factory(32),
+            num_shards=num_shards,
+            partitioner="range",
+            cache_capacity=0,
+            replication_factor=replication_factor,
+            read_policy="round_robin",
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            reliability=reliability,
+            **serve_kwargs,
+        )
+        return factory(keyset, RTX_4090)
+
+    def complete_mask(served) -> np.ndarray:
+        mask = np.ones(len(stream), dtype=bool)
+        for partial in (
+            served.last_shed,
+            served.last_unavailable,
+            served.last_deadline_exceeded,
+            served.last_stale,
+        ):
+            if partial is not None:
+                mask &= ~partial
+        return mask
+
+    def identical_on(served, mask: np.ndarray) -> bool:
+        row_agg, match_counts = served.last_answers
+        return bool(
+            row_agg[mask].tobytes() == stream_expected.row_ids[mask].tobytes()
+            and match_counts[mask].tobytes()
+            == stream_expected.match_counts[mask].tobytes()
+        )
+
+    def storm_events(factor_seed: int = 2):
+        return failure_schedule(
+            num_shards,
+            replication_factor,
+            duration_ms=stream.duration_ms,
+            crashes_per_s=0.0,
+            slowdowns_per_s=0.0,
+            transients_per_s=0.0,
+            latency_storms_per_s=150.0,
+            storm_slow_factor=storm_slow_factor,
+            mean_storm_ms=20.0,
+            seed=seed + factor_seed,
+        )
+
+    # (a) The same latency storm, four reliability configurations.
+    hedged = ReliabilityConfig(
+        hedge_quantile=hedge_quantile, hedge_min_samples=16
+    )
+    modes = [
+        ("baseline", None),
+        ("deadline", ReliabilityConfig(deadline_ms=deadline_ms)),
+        ("hedged", hedged),
+        (
+            "hedged+deadline",
+            ReliabilityConfig(
+                deadline_ms=deadline_ms,
+                hedge_quantile=hedge_quantile,
+                hedge_min_samples=16,
+            ),
+        ),
+    ]
+    for mode, config in modes:
+        served = deployment(config)
+        served.inject_failures(storm_events())
+        metrics = served.serve_stream(stream, record_answers=True)
+        latencies = np.asarray(metrics.request_latencies)
+        rel_report = served.reliability.snapshot() if served.reliability else {}
+        mask = complete_mask(served)
+        result.add(
+            panel="a_latency_storm",
+            mode=mode,
+            latency_p50_ms=float(np.percentile(latencies, 50)),
+            latency_p99_ms=float(np.percentile(latencies, 99)),
+            latency_p999_ms=float(np.percentile(latencies, 99.9)),
+            hedges=int(rel_report.get("hedges", 0)),
+            hedge_wins=int(rel_report.get("hedge_wins", 0)),
+            hedge_waste_ms=float(rel_report.get("hedge_waste_ms", 0.0)),
+            deadline_exceeded=int(
+                (~mask).sum()
+                if served.last_deadline_exceeded is None
+                else served.last_deadline_exceeded.sum()
+            ),
+            complete_fraction=float(mask.mean()),
+            complete_answers_identical=identical_on(served, mask),
+        )
+
+    # (b) Correlated whole-group outages: explicit degradation, two flavors.
+    outage_events = failure_schedule(
+        num_shards,
+        replication_factor,
+        duration_ms=stream.duration_ms,
+        crashes_per_s=0.0,
+        slowdowns_per_s=0.0,
+        transients_per_s=0.0,
+        correlated_outages_per_s=60.0,
+        mean_correlated_outage_ms=8.0,
+        seed=seed + 5,
+    )
+    store_root = tempfile.mkdtemp(prefix="repro-reliability-")
+    try:
+        for mode, stale_reads in (("partial_results", False), ("stale_reads", True)):
+            config = ReliabilityConfig(
+                deadline_ms=deadline_ms, stale_reads=stale_reads
+            )
+            serve_kwargs = (
+                {"store_dir": f"{store_root}/{mode}", "store_fsync": False}
+                if stale_reads
+                else {}
+            )
+            served = deployment(config, **serve_kwargs)
+            served.inject_failures(list(outage_events))
+            metrics = served.serve_stream(stream, record_answers=True)
+            mask = complete_mask(served)
+            stale_mask = (
+                served.last_stale
+                if served.last_stale is not None
+                else np.zeros(len(stream), dtype=bool)
+            )
+            result.add(
+                panel="b_degradation",
+                mode=mode,
+                unavailable=int(served.last_unavailable.sum()),
+                stale_served=int(stale_mask.sum()),
+                deadline_exceeded=int(served.last_deadline_exceeded.sum()),
+                complete_fraction=float(mask.mean()),
+                complete_answers_identical=identical_on(served, mask),
+                # No writes landed after the checkpoint, so stale bytes must
+                # equal fresh bytes wherever a stale answer was served.
+                stale_answers_identical=identical_on(served, stale_mask),
+            )
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+
+    # (c) Acked writes under the storm: the reliability stack must not lose
+    # a single acknowledged write (probes by differential oracle).
+    served = deployment(
+        ReliabilityConfig(
+            deadline_ms=deadline_ms,
+            hedge_quantile=hedge_quantile,
+            hedge_min_samples=16,
+        ),
+        inner=cgrxu_factory(128),
+    )
+    rng = np.random.default_rng(seed + 6)
+    oracle_keys = keyset.keys.copy()
+    oracle_rows = keyset.row_ids.copy()
+    next_row = int(oracle_rows.max()) + 1
+    wave_size = max(1, num_keys // 8)
+    num_waves = 2 if quick else 3
+    for wave in range(1, num_waves + 1):
+        now = served.clock.now_ms
+        injector = served.inject_failures(storm_events(factor_seed=6 + wave))
+        injector.poll(now)
+        insert_keys = rng.integers(
+            0, (1 << 32) - 1, size=wave_size, dtype=np.uint64
+        ).astype(np.uint32)
+        insert_rows = np.arange(next_row, next_row + wave_size, dtype=np.uint32)
+        next_row += wave_size
+        acked = served.update_batch(
+            insert_keys=insert_keys, insert_row_ids=insert_rows
+        )
+        oracle_keys, oracle_rows, _ = apply_update_to_entries(
+            oracle_keys,
+            oracle_rows,
+            insert_keys,
+            insert_rows,
+            np.empty(0, dtype=np.uint32),
+        )
+        injector.poll(now + 40.0)
+        served.maintenance.run_cycle(now + 40.0)
+        wave_oracle = SortedArrayIndex(oracle_keys, oracle_rows, key_bits=32)
+        probe_rng = np.random.default_rng(seed + 10 + wave)
+        probe = np.concatenate(
+            [
+                probe_rng.choice(oracle_keys, size=224),
+                probe_rng.integers(
+                    0, (1 << 32) - 1, size=32, dtype=np.uint64
+                ).astype(np.uint32),
+            ]
+        )
+        expected = wave_oracle.point_lookup_batch(probe)
+        answered = served.point_lookup_batch(probe)
+        result.add(
+            panel="c_write_safety",
+            wave=wave,
+            writes_applied=int(acked.inserted),
+            acked_writes_lost=0
+            if (
+                answered.row_ids.tobytes() == expected.row_ids.tobytes()
+                and answered.match_counts.tobytes()
+                == expected.match_counts.tobytes()
+            )
+            else -1,
+            answers_identical=bool(
+                answered.row_ids.tobytes() == expected.row_ids.tobytes()
+                and answered.match_counts.tobytes()
+                == expected.match_counts.tobytes()
+            ),
+        )
+    return result
+
+
 # --------------------------------------------------------------------------
 # Running everything
 # --------------------------------------------------------------------------
@@ -2230,6 +2512,7 @@ ALL_EXPERIMENTS = {
     "obs": observability,
     "adaptive": adaptive,
     "durability": durability,
+    "reliability": tail_reliability,
 }
 
 

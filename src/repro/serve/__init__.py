@@ -46,6 +46,14 @@ from repro.serve.qos import (
     ShedDecision,
     TenantQoS,
 )
+from repro.serve.reliability import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    ReliabilityConfig,
+    ReliabilityState,
+)
 from repro.serve.partition import (
     HashPartitioner,
     Partitioner,
@@ -86,7 +94,13 @@ __all__ = [
     "MetricsRegistry",
     "Partitioner",
     "RECOVERING",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
     "RangePartitioner",
+    "ReliabilityConfig",
+    "ReliabilityState",
     "Replica",
     "ReplicaGroup",
     "ReplicatedShardRouter",

@@ -241,6 +241,13 @@ class MetricsRegistry:
         """A shard had no available replica over ``[start_ms, end_ms]``."""
         self.unavailability_windows.append((float(start_ms), float(end_ms)))
 
+    def record_hedge(self, won: bool) -> None:
+        """One hedged read raced a slow primary; ``won`` = hedge answered
+        first.  Only the reliability layer emits these, so the counters stay
+        out of un-hedged snapshots."""
+        self.bump("hedges")
+        self.bump("hedge_wins" if won else "hedge_losses")
+
     def record_replica_request(self, shard_id: int, replica_id: int, amount: int = 1) -> None:
         key = f"{int(shard_id)}:{int(replica_id)}"
         self.telemetry.counter(REPLICA_REQUESTS_METRIC, replica=key).inc(int(amount))

@@ -65,7 +65,13 @@ class TenantQoS:
         return max(1.0, 16.0 * float(self.rate_limit_per_ms))
 
 
-class _TokenBucket:
+class TokenBucket:
+    """Token bucket on the simulated clock (rate per ms, ``burst`` capacity).
+
+    Shared infrastructure: per-tenant rate limits here, per-shard retry
+    budgets in :mod:`repro.serve.reliability`.
+    """
+
     __slots__ = ("rate", "burst", "tokens", "last_ms")
 
     def __init__(self, rate: float, burst: float) -> None:
@@ -114,13 +120,13 @@ class AdmissionController:
         if hard_limit_factor < 1.0:
             raise ValueError("hard_limit_factor must be >= 1")
         self.specs: Dict[int, TenantQoS] = {}
-        self._buckets: Dict[int, _TokenBucket] = {}
+        self._buckets: Dict[int, TokenBucket] = {}
         for spec in tenants:
             if spec.tenant in self.specs:
                 raise ValueError(f"duplicate QoS spec for tenant {spec.tenant}")
             self.specs[int(spec.tenant)] = spec
             if spec.rate_limit_per_ms > 0:
-                self._buckets[int(spec.tenant)] = _TokenBucket(
+                self._buckets[int(spec.tenant)] = TokenBucket(
                     spec.rate_limit_per_ms, spec.effective_burst
                 )
         self.max_queue_depth = int(max_queue_depth)

@@ -96,10 +96,18 @@ class ReplicationConfig:
     failover_penalty_ms: float = 0.05
     #: Latency of an emergency snapshot restart when no replica is available.
     restart_penalty_ms: float = 5.0
+    #: Rounds of every-available-replica-erroring failover a read tolerates
+    #: before the group declares it unavailable (and force-restarts a replica
+    #: to keep the never-fail contract, or returns an explicit partial result
+    #: when the reliability layer is armed).  The loop used to spin until the
+    #: injected error supply drained, i.e. effectively forever.
+    max_failover_rounds: int = 16
 
     def __post_init__(self) -> None:
         if self.replication_factor < 1:
             raise ValueError("replication_factor must be >= 1")
+        if self.max_failover_rounds < 1:
+            raise ValueError("max_failover_rounds must be >= 1")
         if self.read_policy not in ("round_robin", "least_loaded"):
             raise ValueError(
                 f"unknown read_policy {self.read_policy!r}; "
@@ -228,6 +236,19 @@ class ReplicaGroup:
         #: consumed by :meth:`lookup_time_ms`.
         self.last_overhead_ms = 0.0
         self.last_slow_factor = 1.0
+        #: Effective service time of the last read when a hedge raced it
+        #: (first answer wins); ``None`` keeps the kernel-time formula.
+        self.last_read_ms: Optional[float] = None
+        #: Whether the last read was abandoned as an explicit partial result
+        #: (reliability layer armed; the answer is a deterministic miss the
+        #: serving layer masks out of oracle byte-checks).
+        self.last_read_unavailable = False
+        #: Deployment-wide reliability machinery
+        #: (:class:`repro.serve.reliability.ReliabilityState`); ``None``
+        #: keeps the PR-2 failover semantics.
+        self.reliability = None
+        self._read_start_ms: Optional[float] = None
+        self._read_deadline_ms: Optional[float] = None
 
         self.replicas: List[Replica] = []
         self._next_replica_id = 0
@@ -500,7 +521,72 @@ class ReplicaGroup:
             self.metrics.record_failover(self.config.restart_penalty_ms)
         return replica
 
-    def _serve_read(self, call, num_requests: int):
+    def begin_read(self, start_ms: float, deadline_ms: Optional[float] = None) -> None:
+        """Arm the next read with its dispatch time and absolute deadline.
+
+        The serving layer calls this just before the batch's group read so
+        the failover loop can abandon retries and restarts that cannot fit
+        the remaining deadline budget.  Consumed (and cleared) by the next
+        :meth:`_serve_read`; reads without an armed budget are unbounded in
+        time (the classic behaviour).
+        """
+        self._read_start_ms = float(start_ms)
+        self._read_deadline_ms = None if deadline_ms is None else float(deadline_ms)
+
+    def _force_restart(self, traced: bool, tracer, base_ms: float) -> None:
+        """Every available replica keeps erroring: declare the lowest-id one
+        wedged and restart its process (resync clears injected fault state),
+        keeping the never-fail read contract with *bounded* work."""
+        available = self.available_replicas()
+        if not available:
+            return  # nothing to restart; the emergency path handles this case
+        replica = min(available, key=lambda r: r.replica_id)
+        if traced:
+            tracer.record_span(
+                "replica.restart",
+                base_ms + self.last_overhead_ms,
+                self.config.restart_penalty_ms,
+                category="replication",
+                lane=f"shard-{self.shard_id}",
+                shard=self.shard_id,
+                replica=replica.replica_id,
+                outcome="forced_restart",
+            )
+        self.clock.advance(self.clock.now_ms + self.config.restart_penalty_ms)
+        replica.state = RECOVERING  # force the resync past its no-op fast path
+        self.resync(replica)
+        self._bump("forced_restarts")
+        self.last_overhead_ms += self.config.restart_penalty_ms
+        if self.metrics is not None:
+            self.metrics.record_failover(self.config.restart_penalty_ms)
+
+    def _give_up(self, reason: str, fallback, traced: bool, tracer, base_ms: float):
+        """Abandon the read as an explicit partial result (reliability mode).
+
+        The caller sees a deterministic miss-shaped answer plus
+        ``last_read_unavailable``; the serving layer masks these requests out
+        of oracle byte-checks exactly like shed ones.
+        """
+        self.last_read_unavailable = True
+        self._bump("read_unavailable")
+        self._bump(f"read_unavailable_{reason}")
+        if self.metrics is not None:
+            self.metrics.bump("reads_unavailable")
+        if self.reliability is not None:
+            self.reliability.bump("read_unavailable")
+        if traced:
+            tracer.record_span(
+                "replica.unavailable",
+                base_ms + self.last_overhead_ms,
+                0.0,
+                category="replication",
+                lane=f"shard-{self.shard_id}",
+                shard=self.shard_id,
+                reason=reason,
+            )
+        return fallback()
+
+    def _serve_read(self, call, num_requests: int, fallback=None):
         """Pick a replica, failing over past transient errors, and call it.
 
         When a tracer is armed, every attempt emits a span on the simulated
@@ -511,22 +597,86 @@ class ReplicaGroup:
         tracer's context stack (the router's batch span), so a request trace
         reaches from the coalescer down to the engine.  None of this changes
         counters or answers: tracing is behavior-neutral by construction.
+
+        With the reliability layer armed (:attr:`reliability`), the loop is
+        additionally governed by per-shard retry budgets with backed-off,
+        jittered retries, per-replica circuit breakers filtering the
+        candidate set, a deadline budget armed via :meth:`begin_read`, and
+        online-quantile read hedging; reads that cannot be served within
+        those bounds return an explicit unavailable answer via ``fallback``.
+        Without it, the only change from the classic semantics is that
+        all-replicas-erroring rounds are *bounded*
+        (``ReplicationConfig.max_failover_rounds``) by a forced restart
+        instead of spinning until the error supply drains.
         """
         self.last_overhead_ms = 0.0
         self.last_slow_factor = 1.0
+        self.last_read_ms = None
+        self.last_read_unavailable = False
+        start_ms = self._read_start_ms
+        deadline_ms = self._read_deadline_ms
+        self._read_start_ms = None
+        self._read_deadline_ms = None
+        rel = self.reliability
+        rel_config = rel.config if rel is not None else None
+        partial = rel is not None and rel_config.partial_results and fallback is not None
+        breakers = rel is not None and rel_config.breaker_enabled
         tracer = self.tracer
         traced = tracer.enabled
         base_ms = 0.0
         if traced:
             context = tracer.current
             base_ms = context.start_ms if context is not None else self.clock.now_ms
+        if start_ms is None:
+            start_ms = base_ms if traced else self.clock.now_ms
+        now_ms = self.clock.now_ms
+
+        def out_of_time(extra_ms: float) -> bool:
+            return (
+                deadline_ms is not None
+                and start_ms + self.last_overhead_ms + extra_ms > deadline_ms
+            )
+
         tried: List[int] = []
+        rounds = 0
+        retries = 0
         while True:
             candidates = self._read_candidates(exclude=tried)
+            if breakers and candidates:
+                admitted = [
+                    replica
+                    for replica in candidates
+                    if rel.breaker(self.shard_id, replica.replica_id).allow(now_ms)
+                ]
+                if admitted:
+                    if len(admitted) < len(candidates):
+                        self._bump("breaker_skips", len(candidates) - len(admitted))
+                    candidates = admitted
+                else:
+                    # Every breaker is open: fail open and serve anyway — a
+                    # breaker must never cost availability, only steer load.
+                    self._bump("breaker_fail_open")
             if not candidates:
-                if tried:  # every available replica errored: retry the round
+                if tried:  # every available replica errored this round
+                    rounds += 1
+                    if rounds >= self.config.max_failover_rounds:
+                        if partial:
+                            return self._give_up(
+                                "rounds", fallback, traced, tracer, base_ms
+                            )
+                        self._bump("read_unavailable")
+                        self._force_restart(traced, tracer, base_ms)
                     tried = []
                     continue
+                # No replica is available at all.
+                if partial and not rel_config.allow_emergency_restart:
+                    return self._give_up(
+                        "no_replicas", fallback, traced, tracer, base_ms
+                    )
+                if partial and out_of_time(self.config.restart_penalty_ms):
+                    return self._give_up(
+                        "deadline", fallback, traced, tracer, base_ms
+                    )
                 if traced:
                     tracer.record_span(
                         "replica.restart",
@@ -558,12 +708,83 @@ class ReplicaGroup:
                 self.last_overhead_ms += self.config.failover_penalty_ms
                 if self.metrics is not None:
                     self.metrics.record_failover(self.config.failover_penalty_ms)
+                if breakers:
+                    rel.breaker(self.shard_id, replica.replica_id).record(
+                        now_ms, False
+                    )
+                if rel is not None:
+                    retries += 1
+                    if rel.budget(self.shard_id).take(now_ms):
+                        rel.bump("retries")
+                        self.last_overhead_ms += rel.backoff_ms(self.shard_id, retries)
+                    else:
+                        rel.bump("retry_budget_exhausted")
+                        if self.metrics is not None:
+                            self.metrics.bump("retry_budget_exhausted")
+                        if partial:
+                            return self._give_up(
+                                "retry_budget", fallback, traced, tracer, base_ms
+                            )
+                    if partial and out_of_time(self.config.failover_penalty_ms):
+                        return self._give_up(
+                            "deadline", fallback, traced, tracer, base_ms
+                        )
                 continue
             result = call(replica.index)
             self.last_slow_factor = replica.slow_factor
             kernel_ms = self.cost_model.kernel_time_ms(result.stats)
+            service_ms = kernel_ms * replica.slow_factor
+            effective_ms = service_ms
+            hedge_replica = None
+            if rel is not None:
+                threshold = rel.hedge_threshold_ms()
+                if service_ms > threshold:
+                    hedge_replica = self._choose_hedge(replica, tried, now_ms)
+                if hedge_replica is not None:
+                    # The hedge fires once the primary has been out for the
+                    # threshold; identical replicas run the same kernel, so
+                    # the duplicate's service time only differs by its slow
+                    # factor.  First answer wins; the loser's device cost
+                    # stays accounted on its replica.
+                    hedge_service_ms = kernel_ms * hedge_replica.slow_factor
+                    hedge_total_ms = threshold + hedge_service_ms
+                    hedge_won = hedge_total_ms < service_ms
+                    effective_ms = min(service_ms, hedge_total_ms)
+                    hedge_replica.busy_ms += hedge_service_ms
+                    self._bump("hedges")
+                    self._bump("hedge_wins" if hedge_won else "hedge_losses")
+                    rel.bump("hedges")
+                    rel.bump("hedge_wins" if hedge_won else "hedge_losses")
+                    rel.hedge_waste_ms += (
+                        service_ms - effective_ms if hedge_won else hedge_service_ms
+                    )
+                    if self.metrics is not None:
+                        self.metrics.record_hedge(hedge_won)
+                    if breakers:
+                        rel.breaker(
+                            self.shard_id, hedge_replica.replica_id
+                        ).record(now_ms, True)
+                    if traced:
+                        tracer.record_span(
+                            "replica.hedge",
+                            base_ms + self.last_overhead_ms + threshold,
+                            hedge_service_ms,
+                            category="replication",
+                            lane=f"shard-{self.shard_id}",
+                            shard=self.shard_id,
+                            replica=hedge_replica.replica_id,
+                            primary=replica.replica_id,
+                            won=hedge_won,
+                            batch_size=num_requests,
+                        )
+                    self.last_read_ms = effective_ms
+                rel.observe_read(effective_ms)
+                if breakers:
+                    rel.breaker(self.shard_id, replica.replica_id).record(
+                        now_ms, service_ms <= rel.slow_threshold_ms()
+                    )
             replica.reads_served += int(num_requests)
-            replica.busy_ms += kernel_ms * replica.slow_factor
+            replica.busy_ms += service_ms
             self._bump("reads", num_requests)
             if self.metrics is not None:
                 self.metrics.record_replica_request(
@@ -573,7 +794,7 @@ class ReplicaGroup:
                 read_span = tracer.record_span(
                     "replica.read",
                     base_ms + self.last_overhead_ms,
-                    kernel_ms * replica.slow_factor,
+                    service_ms,
                     category="replication",
                     lane=f"shard-{self.shard_id}",
                     shard=self.shard_id,
@@ -595,18 +816,52 @@ class ReplicaGroup:
                 )
             return result
 
+    def _choose_hedge(self, primary: Replica, tried: List[int], now_ms: float):
+        """Second healthy replica for a hedged read (least-loaded; breakers
+        respected strictly — no hedge beats a hedge against a sick replica)."""
+        rel = self.reliability
+        peers = [
+            replica
+            for replica in self._read_candidates(exclude=tried)
+            if replica.replica_id != primary.replica_id
+            and replica.pending_transient == 0
+        ]
+        if rel is not None and rel.config.breaker_enabled:
+            peers = [
+                replica
+                for replica in peers
+                if rel.breaker(self.shard_id, replica.replica_id).allow(now_ms)
+            ]
+        if not peers:
+            return None
+        return min(peers, key=lambda r: (r.busy_ms * r.slow_factor, r.replica_id))
+
     def point_lookup_batch(self, keys: np.ndarray) -> LookupResult:
         keys = np.asarray(keys, dtype=self._key_dtype)
         if self.keys.size == 0:
             self.last_overhead_ms = 0.0
             self.last_slow_factor = 1.0
+            self.last_read_ms = None
+            self.last_read_unavailable = False
+            self._read_start_ms = None
+            self._read_deadline_ms = None
             return LookupResult(
                 row_ids=np.full(keys.shape[0], -1, dtype=np.int64),
                 match_counts=np.zeros(keys.shape[0], dtype=np.int64),
                 stats=KernelStats(name="serve.replica_point_lookup", launches=0),
             )
+
+        def miss() -> LookupResult:
+            return LookupResult(
+                row_ids=np.full(keys.shape[0], -1, dtype=np.int64),
+                match_counts=np.zeros(keys.shape[0], dtype=np.int64),
+                stats=KernelStats(name="serve.replica_point_lookup", launches=0),
+            )
+
         return self._serve_read(
-            lambda index: index.point_lookup_batch(keys), int(keys.shape[0])
+            lambda index: index.point_lookup_batch(keys),
+            int(keys.shape[0]),
+            fallback=miss,
         )
 
     def range_lookup_batch(self, lows: np.ndarray, highs: np.ndarray) -> RangeLookupResult:
@@ -615,17 +870,34 @@ class ReplicaGroup:
         if self.keys.size == 0:
             self.last_overhead_ms = 0.0
             self.last_slow_factor = 1.0
+            self.last_read_ms = None
+            self.last_read_unavailable = False
+            self._read_start_ms = None
+            self._read_deadline_ms = None
             return RangeLookupResult(
                 row_ids=[np.empty(0, dtype=np.uint32) for _ in range(lows.shape[0])],
                 stats=KernelStats(name="serve.replica_range_lookup", launches=0),
             )
+
+        def empty() -> RangeLookupResult:
+            return RangeLookupResult(
+                row_ids=[np.empty(0, dtype=np.uint32) for _ in range(lows.shape[0])],
+                stats=KernelStats(name="serve.replica_range_lookup", launches=0),
+            )
+
         return self._serve_read(
-            lambda index: index.range_lookup_batch(lows, highs), int(lows.shape[0])
+            lambda index: index.range_lookup_batch(lows, highs),
+            int(lows.shape[0]),
+            fallback=empty,
         )
 
     def lookup_time_ms(self, result) -> float:
         """Simulated time of the last read: device time of the replica that
-        served it (scaled by its slow factor) plus failover overhead."""
+        served it (scaled by its slow factor) plus failover overhead.  When a
+        hedge raced the primary, the effective (first-answer-wins) service
+        time recorded by the failover loop wins over the formula."""
+        if self.last_read_ms is not None:
+            return self.last_read_ms + self.last_overhead_ms
         return (
             self.cost_model.kernel_time_ms(result.stats) * self.last_slow_factor
             + self.last_overhead_ms
@@ -1073,6 +1345,12 @@ class FailureInjector:
             self._push(event.at_ms, "start", event)
         #: Every transition applied so far, as ``(time_ms, description)``.
         self.log: List[Tuple[float, str]] = []
+        #: When set (a :class:`repro.obs.telemetry.TelemetryRegistry`),
+        #: :meth:`poll` publishes ``fault_active_<kind>`` gauges so traces
+        #: and the time-series sampler show failure windows without parsing
+        #: schedules.
+        self.telemetry = None
+        self._active: Dict[str, int] = {}
 
     def _push(
         self,
@@ -1117,7 +1395,22 @@ class FailureInjector:
             if description is not None:
                 applied.append((at_ms, description))
         self.log.extend(applied)
+        self._publish_gauges()
         return applied
+
+    def _publish_gauges(self) -> None:
+        if self.telemetry is None:
+            return
+        for kind in ("crash", "process_kill", "slow"):
+            self.telemetry.gauge(f"fault_active_{kind}").set(
+                float(self._active.get(kind, 0))
+            )
+        pending = sum(
+            replica.pending_transient
+            for group in self.router.groups.values()
+            for replica in group.replicas
+        )
+        self.telemetry.gauge("fault_active_transient").set(float(pending))
 
     def _apply(
         self,
@@ -1129,6 +1422,12 @@ class FailureInjector:
     ) -> Optional[str]:
         target = f"s{event.shard_id}r{event.replica_id}"
         if phase == "end":
+            # The scheduled window is over either way (a superseding restart
+            # only ended it early), so the active-fault gauge always drops.
+            if event.kind in ("crash", "process_kill", "slow"):
+                self._active[event.kind] = max(
+                    0, self._active.get(event.kind, 0) - 1
+                )
             # A restart (resync) since the fault started supersedes it; its
             # end event must not cut a *newer* fault on the fresh process
             # short.
@@ -1139,6 +1438,8 @@ class FailureInjector:
                 return f"{target} outage over (recovering)"
             group.clear_slow(event.replica_id, event.slow_factor)
             return f"{target} back to full speed"
+        if event.kind in ("crash", "process_kill", "slow"):
+            self._active[event.kind] = self._active.get(event.kind, 0) + 1
         if event.kind == "crash":
             group.crash(event.replica_id, at_ms)
             self._push(

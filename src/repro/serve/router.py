@@ -179,6 +179,10 @@ class ShardRouter:
         self.store = None
         #: Per-shard breakdown of the most recent scattered call.
         self.last_calls: List[ShardCall] = []
+        #: Shards whose read came back as an explicit partial result on the
+        #: most recent scattered call (reliability layer armed; their gather
+        #: positions carry deterministic miss answers).
+        self.last_unavailable_shards: List[int] = []
         #: Largest deployment footprint observed during a rebuild — for
         #: double-buffered rebuilds this includes the window in which both
         #: shard generations were resident.
@@ -624,6 +628,7 @@ class ShardRouter:
         counts = np.zeros(num, dtype=np.int64)
         parts: List[KernelStats] = [self._routing_stats(num)]
         self.last_calls = []
+        self.last_unavailable_shards = []
 
         tracer = self.tracer
         scatter_span = None
@@ -659,6 +664,8 @@ class ShardRouter:
                     self.last_calls.append(
                         ShardCall(int(shard_id), int(member.shape[0]), result.stats)
                     )
+                    if getattr(shard.index, "last_read_unavailable", False):
+                        self.last_unavailable_shards.append(int(shard_id))
                     if scatter_span is not None:
                         # Shards answer concurrently: the scatter/gather span
                         # covers the slowest shard call of the batch.
@@ -698,6 +705,7 @@ class ShardRouter:
         num = int(lows.shape[0])
         parts: List[KernelStats] = [self._routing_stats(num)]
         self.last_calls = []
+        self.last_unavailable_shards = []
 
         # Scatter: shard -> positions of the queries that touch it.  The
         # vector engine computes every query's shard span in two vectorized
@@ -743,6 +751,8 @@ class ShardRouter:
                         collected[position].append(result.row_ids[offset])
                 parts.append(result.stats)
                 self.last_calls.append(ShardCall(shard_id, len(positions), result.stats))
+                if getattr(shard.index, "last_read_unavailable", False):
+                    self.last_unavailable_shards.append(int(shard_id))
                 if scatter_span is not None:
                     shard_ms = shard.index.lookup_time_ms(result)
                     scatter_span.duration_ms = max(scatter_span.duration_ms, shard_ms)

@@ -26,6 +26,7 @@ from repro.baselines.base import (
     LookupResult,
     RangeLookupResult,
     UpdateResult,
+    sorted_lookup_results,
 )
 from repro.baselines.sorted_array import SortedArrayIndex
 from repro.gpu.device import RTX_4090, GpuDevice
@@ -37,6 +38,7 @@ from repro.serve.cache import ResultCache
 from repro.serve.maintenance import MaintenancePolicy, MaintenanceWorker, ReshardPolicy
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.qos import UNLABELED_TENANT, AdmissionController, TenantQoS
+from repro.serve.reliability import ReliabilityConfig, ReliabilityState
 from repro.serve.replication import (
     FailureInjector,
     ReplicatedShardRouter,
@@ -134,6 +136,11 @@ class ServeConfig:
     #: WAL records accumulated behind a checkpoint before the maintenance
     #: worker takes the next one.
     checkpoint_wal_records: int = 32
+    #: Tail-tolerance layer (:class:`repro.serve.reliability.ReliabilityConfig`):
+    #: request deadlines, per-shard retry budgets, hedged reads, per-replica
+    #: circuit breakers and explicit partial results.  ``None`` keeps the
+    #: classic never-give-up read semantics.
+    reliability: Optional[ReliabilityConfig] = None
 
     def describe(self) -> str:
         cache = f"cache={self.cache_capacity}" if self.cache_capacity else "no-cache"
@@ -147,6 +154,8 @@ class ServeConfig:
             label = f"adaptive-{label}"
         if self.tenants:
             label = f"{label}+qos"
+        if self.reliability is not None:
+            label = f"{label}+rel"
         return label
 
     def replication(self) -> "ReplicationConfig":
@@ -231,6 +240,15 @@ class ShardedIndex(GpuIndex):
                 device=device,
                 engine=self.config.engine,
             )
+        #: Tail-tolerance machinery shared by every replica group (``None``
+        #: when :attr:`ServeConfig.reliability` is unset): retry budgets,
+        #: hedging quantiles, circuit breakers and their counters.
+        self.reliability: Optional[ReliabilityState] = None
+        if self.config.reliability is not None:
+            self.reliability = ReliabilityState(self.config.reliability, self.clock)
+            if isinstance(self.router, ReplicatedShardRouter):
+                for group in self.router.groups.values():
+                    group.reliability = self.reliability
         #: Failure-schedule replayer (armed by :meth:`inject_failures`).
         self.failures: Optional[FailureInjector] = None
         #: Per-tenant admission control (None = serve everything).
@@ -307,7 +325,23 @@ class ShardedIndex(GpuIndex):
         #: Boolean mask of requests shed by admission control in the last
         #: ``serve_stream(record_answers=True)`` (excluded from oracle checks).
         self.last_shed = None
+        #: Boolean mask of requests abandoned as explicit partial results
+        #: (shard unavailable within the reliability bounds); excluded from
+        #: oracle byte-checks the same way ``last_shed`` is.
+        self.last_unavailable = None
+        #: Boolean mask of requests whose deadline expired before their batch
+        #: completed (answered deterministically at the deadline, masked).
+        self.last_deadline_exceeded = None
+        #: Boolean mask of requests answered from the last durable state
+        #: instead of a live replica (graceful degradation; masked).
+        self.last_stale = None
         self._answer_sink = None
+        self._unavailable_sink = None
+        self._deadline_sink = None
+        self._stale_sink = None
+        #: Per-shard durable-state lookup tables for stale reads, rebuilt per
+        #: served stream (stale by contract; never fed back into the cache).
+        self._stale_tables = {}
         self.build_stats = [
             stats
             for shard in self.router.shards
@@ -500,6 +534,7 @@ class ShardedIndex(GpuIndex):
         if self.failures is not None:
             # Faults the previous schedule already applied must still expire.
             injector.adopt_pending_ends(self.failures)
+        injector.telemetry = self.metrics.telemetry
         self.failures = injector
         return self.failures
 
@@ -513,10 +548,13 @@ class ShardedIndex(GpuIndex):
         if self.store is not None:
             self.store.metrics = metrics
             self.store.tracer = self.tracer
+        if self.failures is not None:
+            self.failures.telemetry = metrics.telemetry
         if isinstance(self.router, ReplicatedShardRouter):
             for group in self.router.groups.values():
                 group.metrics = metrics
                 group.tracer = self.tracer
+                group.reliability = self.reliability
 
     def _poll_failures(self, now_ms: float) -> None:
         """Advance the clock; apply due failure transitions; heal off-path."""
@@ -621,6 +659,15 @@ class ShardedIndex(GpuIndex):
         )
         shed_mask = np.zeros(len(stream), dtype=bool) if record_answers else None
         self.last_shed = None
+        if record_answers:
+            self._unavailable_sink = np.zeros(len(stream), dtype=bool)
+            self._deadline_sink = np.zeros(len(stream), dtype=bool)
+            self._stale_sink = np.zeros(len(stream), dtype=bool)
+        else:
+            self._unavailable_sink = None
+            self._deadline_sink = None
+            self._stale_sink = None
+        self._stale_tables = {}
         self._device_busy_until = {}
         self._inflight = []
         self._inflight_count = 0
@@ -785,7 +832,13 @@ class ShardedIndex(GpuIndex):
         if self._answer_sink is not None:
             self.last_answers = self._answer_sink
             self.last_shed = shed_mask
+            self.last_unavailable = self._unavailable_sink
+            self.last_deadline_exceeded = self._deadline_sink
+            self.last_stale = self._stale_sink
             self._answer_sink = None
+            self._unavailable_sink = None
+            self._deadline_sink = None
+            self._stale_sink = None
         return metrics
 
     def _maybe_reshard(
@@ -842,6 +895,8 @@ class ShardedIndex(GpuIndex):
 
     def _execute_batches(self, batches, metrics: MetricsRegistry, client_ids=None) -> None:
         tracer = self.tracer
+        rel = self.reliability
+        deadline_cfg = rel.config.deadline_ms if rel is not None else 0.0
         for batch in batches:
             shard = self.router.shards[batch.shard_id]
             batch_keys = batch.keys.astype(self._key_dtype)
@@ -849,6 +904,16 @@ class ShardedIndex(GpuIndex):
                 batch.dispatch_ms,
                 self._device_busy_until.get(batch.shard_id, 0.0),
             )
+            if rel is not None and hasattr(shard.index, "begin_read"):
+                # The batch's deadline is the laxest of its riders': requests
+                # coalesce, so the read is only abandoned once *every* rider
+                # is past its budget.
+                deadline_abs = (
+                    float(batch.arrival_ms.max()) + deadline_cfg
+                    if deadline_cfg > 0
+                    else None
+                )
+                shard.index.begin_read(exec_start, deadline_abs)
             if shard.index is None:
                 row_agg = np.full(batch.size, -1, dtype=np.int64)
                 counts = np.zeros(batch.size, dtype=np.int64)
@@ -880,6 +945,24 @@ class ShardedIndex(GpuIndex):
                 row_agg = result.row_ids
                 counts = result.match_counts
                 exec_ms = shard.index.lookup_time_ms(result)
+            unavailable = bool(
+                getattr(shard.index, "last_read_unavailable", False)
+            )
+            stale = False
+            if unavailable:
+                metrics.bump("requests_unavailable", batch.size)
+                if (
+                    rel is not None
+                    and rel.config.stale_reads
+                    and self.store is not None
+                ):
+                    stale_answer = self._stale_lookup(batch.shard_id, batch_keys)
+                    if stale_answer is not None:
+                        row_agg, counts = stale_answer
+                        stale = True
+                        unavailable = False
+                        metrics.bump("stale_reads_served", batch.size)
+                        rel.bump("stale_reads_served", batch.size)
             completion_ms = exec_start + exec_ms
             self._device_busy_until[batch.shard_id] = completion_ms
             heapq.heappush(self._inflight, (completion_ms, batch.size))
@@ -887,6 +970,10 @@ class ShardedIndex(GpuIndex):
             if self._answer_sink is not None:
                 self._answer_sink[0][batch.request_ids] = row_agg
                 self._answer_sink[1][batch.request_ids] = counts
+                if unavailable:
+                    self._unavailable_sink[batch.request_ids] = True
+                if stale:
+                    self._stale_sink[batch.request_ids] = True
             overhead_ms = (
                 float(getattr(shard.index, "last_overhead_ms", 0.0))
                 if shard.index is not None
@@ -896,11 +983,22 @@ class ShardedIndex(GpuIndex):
             tenant_labels = batch.tenant_ids
             for position in range(batch.size):
                 arrival = float(batch.arrival_ms[position])
-                metrics.record_request(completion_ms - arrival, arrival, completion_ms)
+                latency = completion_ms - arrival
+                finish = completion_ms
+                if deadline_cfg > 0 and latency > deadline_cfg:
+                    # The client gave up at its deadline: its observed
+                    # latency is the deadline, deterministically, and the
+                    # late answer is masked out of the oracle check.
+                    latency = deadline_cfg
+                    finish = arrival + deadline_cfg
+                    metrics.bump("deadline_exceeded")
+                    if self._deadline_sink is not None:
+                        self._deadline_sink[batch.request_ids[position]] = True
+                metrics.record_request(latency, arrival, finish)
                 if tenant_labels is not None:
                     tenant = int(tenant_labels[position])
                     if tenant != UNLABELED_TENANT:
-                        metrics.record_tenant_request(tenant, completion_ms - arrival)
+                        metrics.record_tenant_request(tenant, latency)
                 if client_ids is not None:
                     metrics.record_client(int(client_ids[batch.request_ids[position]]))
             if tracer.enabled:
@@ -909,10 +1007,36 @@ class ShardedIndex(GpuIndex):
                 )
             metrics.record_shard_batch(batch.shard_id, batch.size, exec_ms)
             metrics.bump(f"batches_{batch.reason}")
-            if self.cache is not None:
+            if self.cache is not None and not (unavailable or stale):
+                # Unavailable (miss-shaped) and stale answers never enter the
+                # result cache: they would poison later fresh reads.
                 self._pending_fills.append(
                     (completion_ms, batch_keys, row_agg, counts, tenant_labels)
                 )
+
+    def _stale_lookup(self, shard_id: int, keys: np.ndarray):
+        """Answer a batch from the shard's last durable state (checkpoint +
+        WAL tail) when every live replica is out of reach.  Returns ``(row_agg,
+        match_counts)`` mirroring the live duplicate-aware aggregate
+        semantics, or ``None`` when the store has nothing for the shard."""
+        table = self._stale_tables.get(shard_id)
+        if table is None:
+            try:
+                recovery = self.store.recover_shard(shard_id)
+            except (KeyError, FileNotFoundError, ValueError):
+                return None
+            order = np.argsort(recovery.keys, kind="stable")
+            sorted_keys = recovery.keys[order]
+            sorted_rows = recovery.row_ids[order].astype(np.int64)
+            rowid_prefix = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(sorted_rows)]
+            )
+            table = (sorted_keys, rowid_prefix)
+            self._stale_tables[shard_id] = table
+        sorted_keys, rowid_prefix = table
+        return sorted_lookup_results(
+            sorted_keys, rowid_prefix, keys.astype(sorted_keys.dtype)
+        )
 
     def _trace_batch_requests(
         self, tracer, batch, exec_start, completion_ms, device_ms, overhead_ms

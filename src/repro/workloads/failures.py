@@ -35,6 +35,14 @@ def failure_schedule(
     process_kills_per_s: float = 0.0,
     mean_restart_ms: Optional[float] = None,
     spare_replica: Optional[int] = None,
+    latency_storms_per_s: float = 0.0,
+    storm_slow_factor: float = 8.0,
+    mean_storm_ms: float = 12.0,
+    correlated_outages_per_s: float = 0.0,
+    mean_correlated_outage_ms: float = 6.0,
+    flapping_per_s: float = 0.0,
+    flap_cycles: int = 3,
+    mean_flap_ms: float = 2.0,
     seed: int = 0,
 ) -> List[FailureEvent]:
     """Seeded random failure weather for a ``num_shards x replication_factor`` fleet.
@@ -56,6 +64,22 @@ def failure_schedule(
     replica, when set, is exempt from process kills too.  Process-kill draws
     happen *after* every other fault class, so enabling them never changes
     the schedule an existing seed produces for the classic classes.
+
+    **Gray-failure weather** (all off by default, drawn after every class
+    above so known seeds stay stable):
+
+    * ``latency_storms_per_s`` — metastable latency storms: one shard's
+      replicas (all but at least one, so a hedge can still win) slow down by
+      ``storm_slow_factor`` for overlapping, jittered windows around
+      ``mean_storm_ms``.  Nothing is DOWN; the shard is just *slow*, the
+      failure mode deadlines and hedged reads exist for.
+    * ``correlated_outages_per_s`` — every crashable replica of one shard
+      crashes at once (a rack/AZ event) for ``mean_correlated_outage_ms``;
+      with no spare this leaves the shard with nothing to serve from, the
+      case graceful degradation (partial results / stale reads) covers.
+    * ``flapping_per_s`` — one replica bounces through ``flap_cycles`` short
+      crash/up cycles of ``mean_flap_ms``, the churn pattern circuit breakers
+      damp by holding the replica out until it stays healthy.
     """
     from repro.serve.replication import FailureEvent
 
@@ -124,5 +148,63 @@ def failure_schedule(
                     duration_ms=float(rng.exponential(restart_ms)),
                 )
             )
+    if latency_storms_per_s > 0.0:
+        for at_ms in draw_times(latency_storms_per_s):
+            shard_id = int(rng.integers(num_shards))
+            # Hit all but at least one replica, so the shard stays fast
+            # *somewhere* and a hedged read can beat the storm.
+            hit_count = (
+                int(rng.integers(1, replication_factor))
+                if replication_factor > 1
+                else 1
+            )
+            victims = rng.choice(replication_factor, size=hit_count, replace=False)
+            for replica_id in victims:
+                events.append(
+                    FailureEvent(
+                        at_ms=float(at_ms + rng.uniform(0.0, 0.5)),
+                        kind="slow",
+                        shard_id=shard_id,
+                        replica_id=int(replica_id),
+                        duration_ms=float(rng.exponential(mean_storm_ms)),
+                        slow_factor=float(storm_slow_factor),
+                    )
+                )
+    if correlated_outages_per_s > 0.0:
+        for at_ms in draw_times(correlated_outages_per_s):
+            if not crashable:
+                break
+            shard_id = int(rng.integers(num_shards))
+            outage_ms = float(rng.exponential(mean_correlated_outage_ms))
+            for replica_id in crashable:
+                events.append(
+                    FailureEvent(
+                        at_ms=float(at_ms),
+                        kind="crash",
+                        shard_id=shard_id,
+                        replica_id=int(replica_id),
+                        duration_ms=outage_ms,
+                    )
+                )
+    if flapping_per_s > 0.0:
+        for at_ms in draw_times(flapping_per_s):
+            if not crashable:
+                break
+            shard_id = int(rng.integers(num_shards))
+            replica_id = int(rng.choice(crashable))
+            cycle_start = float(at_ms)
+            for _ in range(int(flap_cycles)):
+                down_ms = float(rng.exponential(mean_flap_ms))
+                up_ms = float(rng.exponential(mean_flap_ms))
+                events.append(
+                    FailureEvent(
+                        at_ms=cycle_start,
+                        kind="crash",
+                        shard_id=shard_id,
+                        replica_id=replica_id,
+                        duration_ms=down_ms,
+                    )
+                )
+                cycle_start += down_ms + up_ms
     events.sort(key=lambda event: event.at_ms)
     return events
