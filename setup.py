@@ -9,11 +9,11 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-cgrx",
-    version="1.6.0",
+    version="1.7.0",
     description=(
         "Software reproduction of cgRX (ICDE 2025): hardware-accelerated "
-        "coarse-granular GPU indexing, with a vectorized batch execution "
-        "engine and a sharded, replicated serving layer"
+        "coarse-granular GPU indexing, with vectorized and compiled batch "
+        "execution engines and a sharded, replicated serving layer"
     ),
     long_description=(
         "Pure Python/numpy reproduction of 'More Bang For Your Buck(et): "
@@ -31,7 +31,12 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy"],
-    extras_require={"test": ["pytest"]},
+    extras_require={
+        "test": ["pytest"],
+        # Optional JIT backend for the compiled hot-path tier; without it the
+        # tier falls back to the system C compiler, then to the vector engine.
+        "compiled": ["numba"],
+    },
     entry_points={
         "console_scripts": [
             "repro-bench=repro.bench.experiments:main",

@@ -129,9 +129,11 @@ class RXIndex(GpuIndex):
         ys = self.mapping.y_of(keys).astype(np.int64)
         zs = self.mapping.z_of(keys).astype(np.int64)
 
-        if self.engine == "vector":
+        if self.engine != "scalar":
             # One wavefront launch for the whole batch: per-ray hits and node
-            # visits come back as arrays, identical to the scalar loop.
+            # visits come back as arrays, identical to the scalar loop.  RX
+            # lookups fire all-hits rays, which the compiled megakernel does
+            # not cover; ``engine="compiled"`` therefore runs this same path.
             origins = np.stack(
                 [
                     xs.astype(np.float64) - 0.5,

@@ -1288,7 +1288,7 @@ def lifecycle(
 
 
 # --------------------------------------------------------------------------
-# Hotpath: wall-clock scalar vs vector (the perf trajectory)
+# Hotpath: wall-clock scalar vs vector vs compiled (the perf trajectory)
 # --------------------------------------------------------------------------
 
 
@@ -1298,19 +1298,30 @@ def hotpath(
     num_ranges: int = 512,
     range_hits: int = 16,
     update_size: int = 4096,
+    scaling_sizes: Sequence[int] = (1_000_000, 10_000_000),
+    scaling_batch: int = 100_000,
+    scalar_sample: int = 512,
     key_bits: int = 64,
     repeats: int = 3,
     quick: bool = False,
     seed: int = 67,
 ) -> ExperimentResult:
-    """Hotpath experiment: *real* wall-clock scalar-vs-vector speedups.
+    """Hotpath experiment: *real* wall-clock engine speedups.
 
     Unlike every other experiment (which reports simulated GPU time), this one
     measures how long the reproduction itself takes to answer batches — the
-    first entry in the repo's wall-clock perf trajectory.  One cgRXu index is
-    built once and queried under both engines (best of ``repeats``); every row
-    carries an ``identical`` flag proving the vector engine returned
+    repo's wall-clock perf trajectory.  One cgRXu index is built per workload
+    and queried under all three engines (best of ``repeats``); every row
+    carries an ``identical`` flag proving the batch engines returned
     byte-identical answers *and* identical instrumentation counters.
+
+    Panels a–c compare the engines on a fixed index; panel ``d_scaling`` is
+    the scaling study: per-key point-lookup cost at ``scaling_sizes`` keys
+    (1M and 10M by default).  The scalar reference is sampled on a bounded
+    ``scalar_sample``-key batch there (a full scalar pass over 10M-key
+    batches would dominate the run without adding information); vector and
+    compiled answer the full ``scaling_batch`` and must agree byte-for-byte
+    with each other *and* with the scalar oracle on the sampled batch.
 
     ``quick=True`` shrinks the workload for CI smoke runs.
     """
@@ -1321,27 +1332,35 @@ def hotpath(
         batch_sizes = tuple(b for b in batch_sizes if b <= 1024) or (256,)
         num_ranges = min(num_ranges, 128)
         update_size = min(update_size, 1024)
+        scaling_sizes = tuple(min(size, 50_000) for size in scaling_sizes[:1]) or (50_000,)
+        scaling_batch = min(scaling_batch, 10_000)
         repeats = 2
+
+    from repro.rtx import compiled as compiled_backend
 
     result = ExperimentResult(
         name="hotpath",
-        description="Wall-clock speedup of the vector batch engine over the scalar reference",
+        description="Wall-clock speedup of the vector and compiled batch engines over the scalar reference",
         parameters={
             "num_keys": num_keys,
             "batch_sizes": list(batch_sizes),
             "num_ranges": num_ranges,
             "range_hits": range_hits,
             "update_size": update_size,
+            "scaling_sizes": list(scaling_sizes),
+            "scaling_batch": scaling_batch,
+            "scalar_sample": scalar_sample,
             "key_bits": key_bits,
             "repeats": repeats,
             "quick": quick,
+            "compiled_backend": compiled_backend.available_backend() or "none",
         },
     )
     keyset = generate_keys(num_keys, uniformity=0.8, key_bits=key_bits, seed=seed)
     index = CgRXuIndex(keyset.keys, keyset.row_ids, CgRXuConfig(key_bits=key_bits))
 
-    def timed(engine: str, call):
-        index.config.engine = engine
+    def timed(target, engine: str, call):
+        target.config.engine = engine
         best = float("inf")
         answer = None
         for _ in range(repeats):
@@ -1353,45 +1372,67 @@ def hotpath(
     def stats_identical(a, b) -> bool:
         return dataclasses.asdict(a) == dataclasses.asdict(b)
 
+    def point_identical(a, b) -> bool:
+        return bool(
+            a.row_ids.tobytes() == b.row_ids.tobytes()
+            and a.match_counts.tobytes() == b.match_counts.tobytes()
+            and stats_identical(a.stats, b.stats)
+        )
+
     # (a) Point lookups across batch sizes.
     for batch_size in batch_sizes:
         lookups = uniform_lookups(keyset, batch_size, seed=seed + batch_size)
         scalar_s, scalar_result = timed(
-            "scalar", lambda: index.point_lookup_batch(lookups)
+            index, "scalar", lambda: index.point_lookup_batch(lookups)
         )
         vector_s, vector_result = timed(
-            "vector", lambda: index.point_lookup_batch(lookups)
+            index, "vector", lambda: index.point_lookup_batch(lookups)
+        )
+        compiled_s, compiled_result = timed(
+            index, "compiled", lambda: index.point_lookup_batch(lookups)
         )
         result.add(
             panel="a_point",
             batch_size=batch_size,
             scalar_ms=scalar_s * 1e3,
             vector_ms=vector_s * 1e3,
+            compiled_ms=compiled_s * 1e3,
             speedup=scalar_s / vector_s,
+            compiled_speedup=scalar_s / compiled_s,
+            compiled_vs_vector=vector_s / compiled_s,
             identical=bool(
-                scalar_result.row_ids.tobytes() == vector_result.row_ids.tobytes()
-                and scalar_result.match_counts.tobytes()
-                == vector_result.match_counts.tobytes()
-                and stats_identical(scalar_result.stats, vector_result.stats)
+                point_identical(scalar_result, vector_result)
+                and point_identical(scalar_result, compiled_result)
             ),
         )
 
     # (b) Range lookups.
     lows, highs = range_lookups(keyset, count=num_ranges, expected_hits=range_hits, seed=seed + 1)
-    scalar_s, scalar_range = timed("scalar", lambda: index.range_lookup_batch(lows, highs))
-    vector_s, vector_range = timed("vector", lambda: index.range_lookup_batch(lows, highs))
+    scalar_s, scalar_range = timed(index, "scalar", lambda: index.range_lookup_batch(lows, highs))
+    vector_s, vector_range = timed(index, "vector", lambda: index.range_lookup_batch(lows, highs))
+    compiled_s, compiled_range = timed(index, "compiled", lambda: index.range_lookup_batch(lows, highs))
+
+    def range_identical(a, b) -> bool:
+        return bool(
+            all(
+                left.tobytes() == right.tobytes()
+                for left, right in zip(a.row_ids, b.row_ids)
+            )
+            and stats_identical(a.stats, b.stats)
+        )
+
     result.add(
         panel="b_range",
         batch_size=num_ranges,
         scalar_ms=scalar_s * 1e3,
         vector_ms=vector_s * 1e3,
+        compiled_ms=compiled_s * 1e3,
         speedup=scalar_s / vector_s,
+        compiled_speedup=scalar_s / compiled_s,
+        compiled_vs_vector=vector_s / compiled_s,
         identical=bool(
-            all(
-                a.tobytes() == b.tobytes()
-                for a, b in zip(scalar_range.row_ids, vector_range.row_ids)
-            )
-            and stats_identical(scalar_range.stats, vector_range.stats)
+            range_identical(scalar_range, vector_range)
+            and range_identical(scalar_range, compiled_range)
         ),
     )
 
@@ -1402,7 +1443,7 @@ def hotpath(
         keyset.keys, size=update_size // 2, replace=False
     ).astype(keyset.keys.dtype)
     updates = {}
-    for engine in ("scalar", "vector"):
+    for engine in ("scalar", "vector", "compiled"):
         fresh = CgRXuIndex(
             keyset.keys,
             keyset.row_ids,
@@ -1413,22 +1454,77 @@ def hotpath(
         updates[engine] = (time.perf_counter() - start, outcome, fresh)
     scalar_s, scalar_update, scalar_index = updates["scalar"]
     vector_s, vector_update, vector_index = updates["vector"]
-    scalar_entries = scalar_index.export_entries()
-    vector_entries = vector_index.export_entries()
+    compiled_s, compiled_update, compiled_index = updates["compiled"]
+    entries = {
+        engine: updates[engine][2].export_entries()
+        for engine in ("scalar", "vector", "compiled")
+    }
+
+    def update_identical(a, b, a_entries, b_entries) -> bool:
+        return bool(
+            a.inserted == b.inserted
+            and a.deleted == b.deleted
+            and stats_identical(a.stats, b.stats)
+            and a_entries[0].tobytes() == b_entries[0].tobytes()
+            and a_entries[1].tobytes() == b_entries[1].tobytes()
+        )
+
     result.add(
         panel="c_update",
         batch_size=update_size + update_size // 2,
         scalar_ms=scalar_s * 1e3,
         vector_ms=vector_s * 1e3,
+        compiled_ms=compiled_s * 1e3,
         speedup=scalar_s / vector_s,
+        compiled_speedup=scalar_s / compiled_s,
+        compiled_vs_vector=vector_s / compiled_s,
         identical=bool(
-            scalar_update.inserted == vector_update.inserted
-            and scalar_update.deleted == vector_update.deleted
-            and stats_identical(scalar_update.stats, vector_update.stats)
-            and scalar_entries[0].tobytes() == vector_entries[0].tobytes()
-            and scalar_entries[1].tobytes() == vector_entries[1].tobytes()
+            update_identical(scalar_update, vector_update, entries["scalar"], entries["vector"])
+            and update_identical(
+                scalar_update, compiled_update, entries["scalar"], entries["compiled"]
+            )
         ),
     )
+
+    # (d) Scaling study: per-key point-lookup cost at 1M/10M keys.
+    for size in scaling_sizes:
+        scale_keyset = generate_keys(size, uniformity=0.8, key_bits=key_bits, seed=seed + 3)
+        scale_index = CgRXuIndex(
+            scale_keyset.keys, scale_keyset.row_ids, CgRXuConfig(key_bits=key_bits)
+        )
+        lookups = uniform_lookups(scale_keyset, scaling_batch, seed=seed + 4)
+        sample = lookups[:scalar_sample]
+
+        scalar_s, scalar_result = timed(
+            scale_index, "scalar", lambda: scale_index.point_lookup_batch(sample)
+        )
+        vector_sample_s, vector_sample = timed(
+            scale_index, "vector", lambda: scale_index.point_lookup_batch(sample)
+        )
+        compiled_sample_s, compiled_sample = timed(
+            scale_index, "compiled", lambda: scale_index.point_lookup_batch(sample)
+        )
+        vector_s, vector_result = timed(
+            scale_index, "vector", lambda: scale_index.point_lookup_batch(lookups)
+        )
+        compiled_s, compiled_result = timed(
+            scale_index, "compiled", lambda: scale_index.point_lookup_batch(lookups)
+        )
+        result.add(
+            panel="d_scaling",
+            num_keys=size,
+            batch_size=scaling_batch,
+            scalar_ns_per_key=scalar_s / max(1, sample.shape[0]) * 1e9,
+            vector_ns_per_key=vector_s / max(1, lookups.shape[0]) * 1e9,
+            compiled_ns_per_key=compiled_s / max(1, lookups.shape[0]) * 1e9,
+            compiled_vs_vector=vector_s / compiled_s,
+            arena_mib=scale_index.compiled_buffers_bytes() / float(1 << 20),
+            identical=bool(
+                point_identical(scalar_result, vector_sample)
+                and point_identical(scalar_result, compiled_sample)
+                and point_identical(vector_result, compiled_result)
+            ),
+        )
     return result
 
 

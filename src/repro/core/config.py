@@ -39,9 +39,14 @@ class BucketLayout(str, Enum):
 
 #: Valid batch execution engines.  ``"vector"`` (the default) answers whole
 #: batches with structure-of-arrays numpy kernels and wavefront BVH traversal;
-#: ``"scalar"`` keeps the original one-key/one-ray-at-a-time reference paths.
-#: Both produce byte-identical results and identical instrumentation counters.
-ENGINES = ("scalar", "vector")
+#: ``"scalar"`` keeps the original one-key/one-ray-at-a-time reference paths;
+#: ``"compiled"`` routes the hot axis-ray traversal and point-lookup chain
+#: walks through fused compiled kernels (numba via the ``[compiled]`` extra,
+#: or a runtime-compiled C backend) over quantized cache-blocked node tables.
+#: All engines produce byte-identical results and identical instrumentation
+#: counters; when no compiled backend is available, ``"compiled"`` degrades
+#: to ``"vector"`` with a recorded telemetry gauge.
+ENGINES = ("scalar", "vector", "compiled")
 
 
 def validate_engine(engine: str) -> str:
@@ -49,6 +54,24 @@ def validate_engine(engine: str) -> str:
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     return engine
+
+
+def resolve_engine(engine: str) -> str:
+    """Map a configured engine to the one that will actually execute.
+
+    ``"compiled"`` requires a kernel backend (numba or a C compiler); when
+    none is available the call degrades to ``"vector"`` — same results, same
+    counters — and records a ``compiled_engine_fallback`` telemetry gauge so
+    the degradation is observable instead of silent.
+    """
+    if engine != "compiled":
+        return engine
+    from repro.rtx import compiled
+
+    if compiled.available_backend() is not None:
+        return "compiled"
+    compiled.record_fallback("no_backend")
+    return "vector"
 
 
 @dataclass

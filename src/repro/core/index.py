@@ -21,7 +21,7 @@ from repro.baselines.base import (
 )
 from repro.core.bucket_search import BucketSearchModel
 from repro.core.bucketing import BucketedKeys
-from repro.core.config import CgRXConfig, Representation
+from repro.core.config import CgRXConfig, Representation, resolve_engine
 from repro.core.key_mapping import KeyMapping
 from repro.core.naive import NaiveRepresentation
 from repro.core.optimized import OptimizedRepresentation
@@ -123,12 +123,19 @@ class CgRXIndex(GpuIndex):
         Returns the bucketID per key (:data:`MISS` for out-of-range keys), the
         aggregated ray statistics and a sample of per-lookup work used for the
         divergence estimate.  The vector engine answers the batch with
-        wavefront launches; counters and samples are identical either way.
+        wavefront launches; the compiled engine swaps the wavefront traversal
+        for the fused megakernel.  Counters and samples are identical across
+        all three.
         """
         stats = RayStats()
         sample_every = max(1, keys.shape[0] // _DIVERGENCE_SAMPLE)
-        if self.config.engine == "vector":
-            bucket_ids, ray_nodes = self.representation.locate_bucket_batch(keys, stats)
+        engine = resolve_engine(self.config.engine)
+        if engine != "scalar":
+            self.pipeline.batch_engine = engine
+            try:
+                bucket_ids, ray_nodes = self.representation.locate_bucket_batch(keys, stats)
+            finally:
+                self.pipeline.batch_engine = "vector"
             work_sample = [int(nodes) for nodes in ray_nodes[::sample_every]]
             return bucket_ids, stats, work_sample
         bucket_ids = np.empty(keys.shape[0], dtype=np.int64)
@@ -354,11 +361,21 @@ class CgRXIndex(GpuIndex):
     # ----------------------------------------------------------------- memory
 
     def memory_footprint(self) -> MemoryFootprint:
-        """Key-rowID array + vertex buffer + acceleration structure."""
+        """Key-rowID array + vertex buffer + acceleration structure.
+
+        Deliberately excludes the compiled tier's host-side arena: this
+        simulated-device footprint feeds the cost model's cache fractions,
+        which must stay identical across engines.  See
+        :meth:`compiled_buffers_bytes`.
+        """
         footprint = self.bucketed.memory_footprint()
         footprint.add("vertex_buffer", self.pipeline.vertex_buffer.memory_footprint_bytes())
         footprint.add("bvh", self.pipeline.bvh.memory_footprint_bytes())
         return footprint
+
+    def compiled_buffers_bytes(self) -> int:
+        """Host bytes held by the compiled tier's arenas (0 when unused)."""
+        return self.pipeline.compiled_buffers_bytes()
 
     # ------------------------------------------------------------ conveniences
 

@@ -21,7 +21,7 @@ from repro.baselines.base import (
     cancel_opposing_updates,
 )
 from repro.core.bucketing import BucketedKeys
-from repro.core.config import CgRXuConfig, Representation
+from repro.core.config import CgRXuConfig, Representation, resolve_engine
 from repro.core.key_mapping import KeyMapping
 from repro.core.naive import NaiveRepresentation
 from repro.core.nodes import NO_NEXT, NodeStorage
@@ -154,6 +154,12 @@ class CgRXuIndex(GpuIndex):
         self._num_entries = len(self.bucketed)
         #: Cached flattened chain tables, invalidated by updates.
         self._chain_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        #: Arena-packed copy of the chain tables for the compiled walk, keyed
+        #: by the identity of ``_chain_cache`` so invalidations and patches
+        #: trigger an in-place repack.
+        self._compiled_chain = None
+        #: Shard-local arena backing the compiled chain tables (lazy).
+        self._compiled_arena = None
 
         #: Storage-lifecycle version: bumped by every compaction pass and by
         #: building from a snapshot, so the serving layer can tell rebuilt
@@ -276,13 +282,16 @@ class CgRXuIndex(GpuIndex):
         """Batched point lookups: raytracing stage plus node-chain traversal.
 
         The ``vector`` engine answers the whole batch with wavefront routing
-        and a lockstep chain walk over the flattened chain tables; results and
-        counters are byte-identical to the scalar reference path.
+        and a lockstep chain walk over the flattened chain tables; the
+        ``compiled`` engine swaps both stages for fused compiled kernels.
+        Results and counters are byte-identical to the scalar reference path
+        under every engine.
         """
         keys = np.asarray(keys, dtype=self._key_dtype)
-        if self.config.engine == "vector":
-            return self._point_lookup_batch_vector(keys)
-        return self._point_lookup_batch_scalar(keys)
+        engine = resolve_engine(self.config.engine)
+        if engine == "scalar":
+            return self._point_lookup_batch_scalar(keys)
+        return self._point_lookup_batch_vector(keys, engine)
 
     def _point_lookup_batch_scalar(self, keys: np.ndarray) -> LookupResult:
         """Reference path: one key and one ray at a time."""
@@ -317,14 +326,24 @@ class CgRXuIndex(GpuIndex):
             prof.observe_chain_walk("scalar", total_nodes, num_lookups)
         return LookupResult(row_ids=row_agg, match_counts=match_counts, stats=stats)
 
-    def _point_lookup_batch_vector(self, keys: np.ndarray) -> LookupResult:
-        """Vector path: wavefront routing plus a lockstep batched chain walk."""
+    def _point_lookup_batch_vector(self, keys: np.ndarray, engine: str = "vector") -> LookupResult:
+        """Batch path: wavefront or compiled routing plus a batched chain walk."""
         num_lookups = int(keys.shape[0])
         ray_stats = RayStats()
-        bucket_ids, ray_nodes = self.representation.locate_bucket_batch(keys, ray_stats)
+        self.pipeline.batch_engine = engine
+        try:
+            bucket_ids, ray_nodes = self.representation.locate_bucket_batch(keys, ray_stats)
+        finally:
+            self.pipeline.batch_engine = "vector"
         buckets = np.where(bucket_ids == MISS, self.overflow_bucket, bucket_ids)
 
-        row_sum, match_counts, chain_nodes, entries = self._collect_batch(buckets, keys)
+        walk = None
+        if engine == "compiled":
+            walk = self._collect_batch_compiled(buckets, keys)
+        if walk is None:
+            engine = "vector" if engine == "compiled" else engine
+            walk = self._collect_batch(buckets, keys)
+        row_sum, match_counts, chain_nodes, entries = walk
         row_agg = np.where(match_counts > 0, row_sum, -1).astype(np.int64)
 
         sample_every = max(1, num_lookups // _DIVERGENCE_SAMPLE)
@@ -339,7 +358,7 @@ class CgRXuIndex(GpuIndex):
         )
         prof = _profile.profiler()
         if prof is not None:
-            prof.observe_chain_walk("vector", int(chain_nodes.sum()), num_lookups)
+            prof.observe_chain_walk(engine, int(chain_nodes.sum()), num_lookups)
         return LookupResult(
             row_ids=row_agg, match_counts=match_counts.astype(np.int64), stats=stats
         )
@@ -414,6 +433,36 @@ class CgRXuIndex(GpuIndex):
             active = active[keep]
         return row_sum, matches, nodes_visited, entries
 
+    def _compiled_chain_tables(self):
+        """Arena-packed chain tables for the compiled walk (identity-cached).
+
+        Keyed on the identity of the ``_chain_cache`` tuple: ``update_batch``
+        invalidates it to ``None`` and ``_patch_chain_cache`` swaps in a new
+        tuple, so an ``is`` check catches every mutation and repacks into the
+        shard-local arena in place.
+        """
+        from repro.core import compiled as core_compiled
+        from repro.rtx.compiled import Arena
+
+        order, starts = self._chain_table()
+        cached = self._compiled_chain
+        if cached is not None and cached[0] is self._chain_cache:
+            return cached[1]
+        if self._compiled_arena is None:
+            self._compiled_arena = Arena()
+        tables = core_compiled.CompiledChainTables(order, starts, self._compiled_arena)
+        self._compiled_chain = (self._chain_cache, tables)
+        return tables
+
+    def _collect_batch_compiled(
+        self, buckets: np.ndarray, keys: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Compiled chain walk; returns ``None`` when no backend is available."""
+        from repro.core import compiled as core_compiled
+
+        tables = self._compiled_chain_tables()
+        return core_compiled.chain_walk_batch(self.nodes, tables, buckets, keys)
+
     def _range_lookup_stats(
         self,
         lows: np.ndarray,
@@ -443,9 +492,10 @@ class CgRXuIndex(GpuIndex):
         highs = np.asarray(highs, dtype=self._key_dtype)
         if lows.shape != highs.shape:
             raise ValueError("lows and highs must have the same shape")
-        if self.config.engine == "vector":
-            return self._range_lookup_batch_vector(lows, highs)
-        return self._range_lookup_batch_scalar(lows, highs)
+        engine = resolve_engine(self.config.engine)
+        if engine == "scalar":
+            return self._range_lookup_batch_scalar(lows, highs)
+        return self._range_lookup_batch_vector(lows, highs, engine)
 
     def _range_lookup_batch_scalar(
         self, lows: np.ndarray, highs: np.ndarray
@@ -497,12 +547,21 @@ class CgRXuIndex(GpuIndex):
         return RangeLookupResult(row_ids=results, stats=stats)
 
     def _range_lookup_batch_vector(
-        self, lows: np.ndarray, highs: np.ndarray
+        self, lows: np.ndarray, highs: np.ndarray, engine: str = "vector"
     ) -> RangeLookupResult:
-        """Vector path: wavefront routing plus a lockstep forward chain walk."""
+        """Batch path: wavefront or compiled routing plus a lockstep forward walk.
+
+        The compiled tier accelerates the lower-bound routing rays only; the
+        forward range walk emits variable-length row slices and stays on the
+        lockstep vector path under every batch engine.
+        """
         num_queries = int(lows.shape[0])
         ray_stats = RayStats()
-        bucket_ids, _ = self.representation.locate_bucket_batch(lows, ray_stats)
+        self.pipeline.batch_engine = engine
+        try:
+            bucket_ids, _ = self.representation.locate_bucket_batch(lows, ray_stats)
+        finally:
+            self.pipeline.batch_engine = "vector"
         buckets = np.where(bucket_ids == MISS, self.overflow_bucket, bucket_ids)
 
         order, starts = self._chain_table()
@@ -655,7 +714,7 @@ class CgRXuIndex(GpuIndex):
         # Two binary searches on the sorted batch identify each thread's slice.
         slice_ops = 2 * max(1, int(np.log2(max(insert_keys.shape[0], 2))))
 
-        if self.config.engine == "vector":
+        if self.config.engine in ("vector", "compiled"):
             # Vectorized partitioning: both binary-search sweeps over the
             # sorted batch run as single searchsorted calls, and only buckets
             # that actually received work are visited below.
@@ -1028,11 +1087,27 @@ class CgRXuIndex(GpuIndex):
     # ----------------------------------------------------------------- memory
 
     def memory_footprint(self) -> MemoryFootprint:
-        """Node regions + vertex buffer + acceleration structure."""
+        """Node regions + vertex buffer + acceleration structure.
+
+        The compiled tier's arenas are deliberately excluded: this footprint
+        feeds the cost model's cache fractions, which must stay identical
+        across engines.  See :meth:`compiled_buffers_bytes`.
+        """
         footprint = self.nodes.memory_footprint()
         footprint.add("vertex_buffer", self.pipeline.vertex_buffer.memory_footprint_bytes())
         footprint.add("bvh", self.pipeline.bvh.memory_footprint_bytes())
         return footprint
+
+    def compiled_buffers_bytes(self) -> int:
+        """Bytes held by the compiled tier's shard-local arenas.
+
+        Covers both the pipeline's quantized BVH node tables and this index's
+        packed chain tables; zero when the compiled tier has never run.
+        """
+        total = self.pipeline.compiled_buffers_bytes()
+        if self._compiled_arena is not None:
+            total += self._compiled_arena.capacity_bytes
+        return total
 
     # ------------------------------------------------------------ conveniences
 

@@ -85,6 +85,13 @@ class Profiler:
                 nodes_visited / lookups
             )
 
+    # -- rtx.compiled / core.compiled ---------------------------------------
+    def observe_compiled_fallback(self, reason: str) -> None:
+        """A ``"compiled"`` engine request degraded to the vector engine."""
+        registry = self.registry
+        registry.gauge("compiled_engine_fallback", reason=reason).set(1.0)
+        registry.counter("compiled_engine_fallbacks_total", reason=reason).inc()
+
     def observe_chain_compaction(self, nodes_before: int, nodes_after: int) -> None:
         """One bucket chain rewritten by compaction."""
         registry = self.registry

@@ -50,6 +50,16 @@ class RaytracingPipeline:
         self.build_flags = build_flags
         self._bvh: Optional[Bvh] = None
         self._engine: Optional[TraversalEngine] = None
+        #: Engine used by the batched axis-ray casts: ``"vector"`` (wavefront)
+        #: or ``"compiled"`` (fused megakernel).  Indexes set this around a
+        #: batch instead of threading a parameter through every staging layer.
+        self.batch_engine = "vector"
+        #: Shard-local arena backing the compiled tier's node tables; owned
+        #: here (not by the per-build traversal engine) so acceleration-
+        #: structure rebuilds and refits repack it in place across epochs.
+        from repro.rtx.compiled import Arena
+
+        self._compiled_arena = Arena()
         #: Statistics accumulated over the lifetime of the pipeline.
         self.lifetime_stats = RayStats()
         #: Number of full acceleration-structure builds performed.
@@ -63,7 +73,7 @@ class RaytracingPipeline:
         """(Re)build the BVH from the current vertex buffer contents."""
         scene = TriangleScene.from_vertex_buffer(self.vertex_buffer, self.build_flags)
         self._bvh = build_bvh(scene, self.bvh_config)
-        self._engine = TraversalEngine(self._bvh)
+        self._engine = TraversalEngine(self._bvh, compiled_arena=self._compiled_arena)
         self.build_count += 1
         return self._bvh
 
@@ -87,7 +97,7 @@ class RaytracingPipeline:
         # Centres and flipped flags may have changed when triangles were rewritten.
         self._bvh.scene.centres = scene.centres
         self._bvh.scene.flipped = scene.flipped
-        self._engine = TraversalEngine(self._bvh)
+        self._engine = TraversalEngine(self._bvh, compiled_arena=self._compiled_arena)
         self.refit_count += 1
         return self._bvh
 
@@ -171,7 +181,9 @@ class RaytracingPipeline:
         """
         engine = self._require_engine()
         local = RayStats()
-        result = engine.trace_axis_closest_batch(axis, origins, tmax, local)
+        result = engine.trace_axis_closest_batch(
+            axis, origins, tmax, local, engine=self.batch_engine
+        )
         if stats is not None:
             stats.merge(local)
         self.lifetime_stats.merge(local)
@@ -200,7 +212,9 @@ class RaytracingPipeline:
         hits and counters are identical either way.
         """
         result = LaunchResult()
-        if engine == "vector":
+        # The compiled tier covers axis-aligned closest-hit batches only;
+        # general-direction launches execute on the wavefront path under it.
+        if engine in ("vector", "compiled"):
             traversal = self._require_engine()
             local = RayStats()
             result.hits = traversal.trace_closest_batch(rays, local)
@@ -220,8 +234,18 @@ class RaytracingPipeline:
     # ----------------------------------------------------------------- memory
 
     def memory_footprint_bytes(self) -> int:
-        """Device bytes: vertex buffer plus acceleration structure."""
+        """Device bytes: vertex buffer plus acceleration structure.
+
+        The compiled tier's arena is deliberately *excluded*: it is host-side
+        acceleration state, and the simulated-device footprint feeds the cost
+        model's cache fractions, which must stay identical across engines.
+        Report it through :meth:`compiled_buffers_bytes` instead.
+        """
         total = self.vertex_buffer.memory_footprint_bytes()
         if self._bvh is not None:
             total += self._bvh.memory_footprint_bytes()
         return total
+
+    def compiled_buffers_bytes(self) -> int:
+        """Bytes held by the compiled tier's quantized-table arena."""
+        return self._compiled_arena.capacity_bytes

@@ -103,7 +103,7 @@ class TraversalEngine:
     #: point is considered to pass through a triangle centred on that point.
     AXIS_HIT_TOLERANCE = 0.3
 
-    def __init__(self, bvh: Bvh) -> None:
+    def __init__(self, bvh: Bvh, compiled_arena=None) -> None:
         self._bvh = bvh
         self._vertices = bvh.scene.vertices
         self._primitive_indices = bvh.scene.primitive_indices
@@ -112,6 +112,10 @@ class TraversalEngine:
         self.stats = RayStats()
         self._fast_tables: Optional[tuple] = None
         self._soa = None
+        #: Shard-local arena for the compiled tier's quantized node tables;
+        #: owned by the pipeline so rebuilds/refits repack it in place.
+        self._compiled_arena = compiled_arena
+        self._compiled_tables = None
 
     @property
     def bvh(self) -> Bvh:
@@ -129,6 +133,27 @@ class TraversalEngine:
 
             self._soa = SoaBvh(self._bvh)
         return self._soa
+
+    def compiled_tables(self):
+        """Quantized cache-blocked node tables for the compiled megakernel.
+
+        Built lazily into the engine's arena on the first compiled batch; the
+        arena is reused (rebuilt in place) across acceleration-structure
+        epochs when the owning pipeline threads it through.
+        """
+        if self._compiled_tables is None:
+            from repro.rtx import compiled
+
+            if self._compiled_arena is None:
+                self._compiled_arena = compiled.Arena()
+            self._compiled_tables = compiled.CompiledBvhTables(self._bvh, self._compiled_arena)
+        return self._compiled_tables
+
+    def compiled_buffers_bytes(self) -> int:
+        """Arena bytes held by the compiled tier (0 until the first compiled batch)."""
+        if self._compiled_arena is None:
+            return 0
+        return self._compiled_arena.capacity_bytes
 
     def _prepare_ray(self, ray: Ray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         origin = ray.origin.astype(np.float64)
@@ -439,8 +464,14 @@ class TraversalEngine:
 
     # ------------------------------------------------------- wavefront batches
 
-    def _trace_axis_batch(self, axis, origins, tmax, collect_all, stats):
-        """Shared wavefront entry: trace a whole axis-ray batch in lockstep."""
+    def _trace_axis_batch(self, axis, origins, tmax, collect_all, stats, engine="vector"):
+        """Shared batch entry: trace a whole axis-ray batch through one kernel.
+
+        ``engine="compiled"`` routes closest-hit batches through the fused
+        megakernel of :mod:`repro.rtx.compiled`; all-hits batches (and any
+        batch the compiled tier cannot serve) take the wavefront path.  Both
+        kernels produce identical hits and counters.
+        """
         from repro.rtx import wavefront
 
         origins = np.asarray(origins, dtype=np.float64)
@@ -449,9 +480,30 @@ class TraversalEngine:
         else:
             tmax = np.asarray(tmax, dtype=np.float64)
         delta = RayStats()
-        result = wavefront.trace_axis_batch(
-            self.soa(), axis, origins, tmax, self.AXIS_HIT_TOLERANCE, collect_all, delta
-        )
+        result = None
+        if (
+            engine == "compiled"
+            and not collect_all
+            and origins.shape[0]
+            and self._bvh.num_nodes
+        ):
+            from repro.rtx import compiled
+
+            result = compiled.trace_axis_closest_batch(
+                self.soa(),
+                self.compiled_tables(),
+                axis,
+                origins,
+                tmax,
+                self.AXIS_HIT_TOLERANCE,
+                delta,
+            )
+            if result is None:
+                compiled.record_fallback("tables_unusable")
+        if result is None:
+            result = wavefront.trace_axis_batch(
+                self.soa(), axis, origins, tmax, self.AXIS_HIT_TOLERANCE, collect_all, delta
+            )
         if stats is not None:
             stats.merge(delta)
         self.stats.merge(delta)
@@ -463,14 +515,15 @@ class TraversalEngine:
         origins: np.ndarray,
         tmax: Optional[np.ndarray] = None,
         stats: Optional[RayStats] = None,
+        engine: str = "vector",
     ):
-        """Closest hits of a batch of +``axis`` rays (wavefront lockstep).
+        """Closest hits of a batch of +``axis`` rays (wavefront or compiled).
 
         Returns a :class:`~repro.rtx.wavefront.AxisClosestBatch`; hit records,
         per-ray node visits and ``stats`` totals are identical to calling
-        :meth:`trace_axis_closest` per ray.
+        :meth:`trace_axis_closest` per ray, whichever engine executes.
         """
-        return self._trace_axis_batch(axis, origins, tmax, False, stats)
+        return self._trace_axis_batch(axis, origins, tmax, False, stats, engine)
 
     def trace_axis_all_batch(
         self,
@@ -478,13 +531,16 @@ class TraversalEngine:
         origins: np.ndarray,
         tmax: Optional[np.ndarray] = None,
         stats: Optional[RayStats] = None,
+        engine: str = "vector",
     ):
         """All hits of a batch of +``axis`` rays (wavefront lockstep).
 
         Returns a :class:`~repro.rtx.wavefront.AxisAllBatch` with hits grouped
-        by ray and sorted by distance, matching :meth:`trace_axis_all`.
+        by ray and sorted by distance, matching :meth:`trace_axis_all`.  The
+        compiled tier covers only closest-hit batches, so all-hits batches
+        stay on the wavefront kernels under every engine.
         """
-        return self._trace_axis_batch(axis, origins, tmax, True, stats)
+        return self._trace_axis_batch(axis, origins, tmax, True, stats, engine)
 
     def trace_closest_batch(
         self,

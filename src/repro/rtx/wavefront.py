@@ -81,6 +81,62 @@ class SoaBvh:
 
 
 @dataclass
+class RayBatch:
+    """Pre-stacked SoA arrays describing a batch of arbitrary-direction rays.
+
+    :func:`trace_closest_batch` historically rebuilt these arrays from Ray
+    objects with per-ray list comprehensions on every call; callers that
+    already hold stacked arrays pass a ``RayBatch`` instead and skip that
+    Python churn entirely.  ``from_rays`` keeps the Ray-object path as a thin
+    adapter, and :meth:`ray` materialises a single Ray on demand for the
+    (rare) leaf intersection tests.
+    """
+
+    #: Ray origins, ``(R, 3)`` float64.
+    origins: np.ndarray
+    #: Ray directions, ``(R, 3)`` float64.
+    directions: np.ndarray
+    #: Per-ray minimum hit distance, ``(R,)`` float64.
+    tmin: np.ndarray
+    #: Per-ray maximum hit distance, ``(R,)`` float64.
+    tmax: np.ndarray
+
+    @classmethod
+    def from_rays(cls, rays: Sequence[Ray]) -> "RayBatch":
+        """Stack Ray objects into SoA form (the adapter the legacy path uses)."""
+        return cls(
+            origins=np.stack([ray.origin.astype(np.float64) for ray in rays])
+            if len(rays)
+            else np.zeros((0, 3), dtype=np.float64),
+            directions=np.stack([ray.direction.astype(np.float64) for ray in rays])
+            if len(rays)
+            else np.zeros((0, 3), dtype=np.float64),
+            tmin=np.asarray([ray.tmin for ray in rays], dtype=np.float64),
+            tmax=np.asarray([ray.tmax for ray in rays], dtype=np.float64),
+        )
+
+    @property
+    def num_rays(self) -> int:
+        return int(self.tmin.shape[0])
+
+    def ray(self, index: int) -> Ray:
+        """Materialise ray ``index`` as a Ray object."""
+        return Ray(
+            self.origins[index],
+            self.directions[index],
+            float(self.tmin[index]),
+            float(self.tmax[index]),
+        )
+
+    def __len__(self) -> int:
+        return self.num_rays
+
+    def __iter__(self):
+        for index in range(self.num_rays):
+            yield self.ray(index)
+
+
+@dataclass
 class AxisClosestBatch:
     """Closest-hit results of a batch of axis-aligned rays."""
 
@@ -347,7 +403,7 @@ def trace_closest_batch(
     soa: SoaBvh,
     vertices: np.ndarray,
     primitive_indices: np.ndarray,
-    rays: Sequence[Ray],
+    rays: "Sequence[Ray] | RayBatch",
     stats,
 ) -> List[HitRecord]:
     """General wavefront closest-hit traversal for arbitrary-direction rays.
@@ -358,8 +414,24 @@ def trace_closest_batch(
     triangle routine per ray, which keeps the hit records and
     :class:`~repro.rtx.traversal.RayStats` totals bit-identical to
     ``trace_closest``.
+
+    ``rays`` is either a sequence of Ray objects or a pre-stacked
+    :class:`RayBatch` — the fast path, which skips the per-ray stacking
+    comprehensions entirely.
     """
-    num_rays = len(rays)
+    if isinstance(rays, RayBatch):
+        batch = rays
+
+        def leaf_ray(ray_id: int) -> Ray:
+            return batch.ray(ray_id)
+
+    else:
+
+        def leaf_ray(ray_id: int) -> Ray:
+            return rays[ray_id]
+
+        batch = RayBatch.from_rays(rays)
+    num_rays = batch.num_rays
     stats.rays_cast += num_rays
     records = [HitRecord() for _ in range(num_rays)]
     if num_rays == 0:
@@ -368,13 +440,13 @@ def trace_closest_batch(
         stats.misses += num_rays
         return records
 
-    origins = np.stack([ray.origin.astype(np.float64) for ray in rays])
-    directions = np.stack([ray.direction.astype(np.float64) for ray in rays])
+    origins = batch.origins
+    directions = batch.directions
     parallel = np.abs(directions) < 1e-12
     with np.errstate(divide="ignore"):
         inv_dir = np.where(parallel, np.inf, 1.0 / directions)
-    tmin = np.asarray([ray.tmin for ray in rays], dtype=np.float64)
-    best_t = np.asarray([ray.tmax for ray in rays], dtype=np.float64)
+    tmin = batch.tmin
+    best_t = batch.tmax.astype(np.float64, copy=True)
 
     stack = np.zeros((num_rays, soa.stack_depth), dtype=np.int64)
     pointer = np.ones(num_rays, dtype=np.int64)
@@ -412,7 +484,7 @@ def trace_closest_batch(
         leaf = np.nonzero(passes & (counts > 0))[0]
         for offset in leaf:
             ray_id = int(active[offset])
-            ray = rays[ray_id]
+            ray = leaf_ray(ray_id)
             local = soa.bvh.leaf_primitive_indices(int(node[offset]))
             stats.triangle_tests += len(local)
             hit_mask, t_values, front = ray_triangles_intersect(

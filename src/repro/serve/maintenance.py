@@ -576,7 +576,19 @@ class MaintenanceWorker:
             "checkpoints_performed": self.checkpoints_performed,
             "maintenance_time_ms": self.maintenance_time_ms,
             "rebuild_peak_bytes": int(getattr(self.router, "rebuild_peak_bytes", 0)),
+            "compiled_arena_bytes": self._compiled_arena_bytes(),
         }
         for tier, time_ms in sorted(self.tier_time_ms.items()):
             report[f"maintenance_ms_{tier}"] = time_ms
         return report
+
+    def _compiled_arena_bytes(self) -> int:
+        """Total host-side compiled-tier arena bytes across live shards."""
+        total = 0
+        for shard in self.router.shards:
+            if shard.index is None:
+                continue
+            arena_bytes = getattr(shard.index, "compiled_buffers_bytes", None)
+            if arena_bytes is not None:
+                total += int(arena_bytes())
+        return total

@@ -713,7 +713,9 @@ class ShardRouter:
         # sees the *raw* endpoints so entirely-negative ranges get an empty
         # shard span instead of a clamped one.
         per_shard: Dict[int, "List[int] | np.ndarray"] = {}
-        if self.engine == "vector" and num:
+        # Span dispatch is plain searchsorted math; "compiled" behaves as
+        # "vector" here and accelerates inside the shards instead.
+        if self.engine != "scalar" and num:
             first, last = self.partitioner.shard_span_batch(lows_raw, highs_raw)
             for shard_id in range(self.num_shards):
                 member = np.nonzero((first <= shard_id) & (shard_id <= last))[0]

@@ -89,7 +89,9 @@ class ServeConfig:
     #: Apply-log records retained per shard for replica catch-up.
     log_capacity: int = 64
     #: Scatter/gather execution engine of the shard router: ``"vector"``
-    #: (batched span computation) or ``"scalar"``; answers are identical.
+    #: (batched span computation), ``"compiled"`` (vector routing plus the
+    #: compiled hot path inside every shard) or ``"scalar"``; answers are
+    #: identical under all three.
     engine: str = "vector"
     #: Arm the request tracer: every served request, batch execution,
     #: replica read/failover and maintenance window records a span on the
@@ -589,6 +591,17 @@ class ShardedIndex(GpuIndex):
                     f"shard_{shard.shard_id}_rebuild_buffer",
                     shard.pending_index.memory_footprint().total_bytes,
                 )
+            # Host-side compiled-tier arenas (quantized node tables + packed
+            # chain tables); reported separately so the simulated-device
+            # footprint above stays engine-independent.
+            if shard.index is not None:
+                arena_bytes = getattr(shard.index, "compiled_buffers_bytes", None)
+                if arena_bytes is not None:
+                    bytes_held = arena_bytes()
+                    if bytes_held:
+                        footprint.add(
+                            f"shard_{shard.shard_id}_compiled_arena", bytes_held
+                        )
         if self.cache is not None:
             # Host-side entry: key + aggregate + count + LRU links.
             footprint.add("result_cache", len(self.cache) * (self.config.key_bits // 8 + 24))

@@ -1,0 +1,466 @@
+"""Parity and behaviour suite for the compiled hot-path tier.
+
+The scalar paths remain the reference oracle.  Everything here drives the
+same workloads through ``engine="compiled"`` and asserts **byte-identical
+results and identical instrumentation counters**, exactly like the vector
+suite — plus the compiled-tier-specific contracts: quantized AABBs rounded
+conservatively outward, shard-local arenas rebuilt in place, graceful
+degradation to the vector engine when no backend exists, and the
+``RayBatch`` pre-stacked fast path of the wavefront tracer.
+
+Backend handling: the suite runs against whatever backend the environment
+resolves (numba when installed, otherwise the system C compiler).  Tests
+that need a *specific* backend pin it with ``REPRO_COMPILED_BACKEND`` and
+reset the module cache around themselves; numba-only tests importorskip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import CgRXConfig, CgRXuConfig, resolve_engine
+from repro.core.index import CgRXIndex
+from repro.core.updatable import CgRXuIndex
+from repro.rtx import compiled
+from repro.rtx.bvh import BvhBuildConfig, build_bvh
+from repro.rtx.geometry import Ray
+from repro.rtx.scene import TriangleScene, VertexBuffer
+from repro.rtx.traversal import RayStats, TraversalEngine
+from repro.rtx.wavefront import RayBatch
+from repro.workloads.keygen import generate_keys
+from repro.workloads.lookups import hit_miss_lookups, range_lookups
+from repro.workloads.updates import update_waves
+
+
+def assert_stats_identical(scalar, other) -> None:
+    left = dataclasses.asdict(scalar)
+    right = dataclasses.asdict(other)
+    differing = {key: (left[key], right[key]) for key in left if left[key] != right[key]}
+    assert not differing, f"counters diverged: {differing}"
+
+
+def assert_point_identical(scalar, other) -> None:
+    assert scalar.row_ids.tobytes() == other.row_ids.tobytes()
+    assert scalar.match_counts.tobytes() == other.match_counts.tobytes()
+    assert_stats_identical(scalar.stats, other.stats)
+
+
+def assert_range_identical(scalar, other) -> None:
+    assert len(scalar.row_ids) == len(other.row_ids)
+    for left, right in zip(scalar.row_ids, other.row_ids):
+        assert left.dtype == right.dtype
+        assert left.tobytes() == right.tobytes()
+    assert_stats_identical(scalar.stats, other.stats)
+
+
+@pytest.fixture
+def pinned_backend(monkeypatch):
+    """Pin the backend via env var and reset the module cache around the test."""
+
+    def pin(name: str) -> None:
+        monkeypatch.setenv("REPRO_COMPILED_BACKEND", name)
+        compiled.reset_backend_cache()
+
+    yield pin
+    compiled.reset_backend_cache()
+
+
+requires_backend = pytest.mark.skipif(
+    compiled.available_backend() is None,
+    reason="no compiled backend (numba or a C compiler) available",
+)
+
+
+# --------------------------------------------------------------------------
+# Megakernel vs per-ray scalar traversal
+# --------------------------------------------------------------------------
+
+
+def build_engines(points, flipped=None, leaf_size=4):
+    engines = []
+    for _ in range(2):
+        buffer = VertexBuffer()
+        flips = flipped or [False] * len(points)
+        for slot, ((x, y, z), flip) in enumerate(zip(points, flips)):
+            buffer.write_key_triangle(slot, float(x), float(y), float(z), flipped=flip)
+        scene = TriangleScene.from_vertex_buffer(buffer)
+        engines.append(TraversalEngine(build_bvh(scene, BvhBuildConfig(max_leaf_size=leaf_size))))
+    return engines
+
+
+@requires_backend
+@pytest.mark.parametrize("axis", [0, 1, 2])
+def test_megakernel_axis_closest_matches_scalar(axis, rng):
+    points = [tuple(point) for point in rng.integers(0, 25, size=(150, 3))]
+    flips = list(rng.random(len(points)) < 0.3)
+    scalar_engine, batch_engine = build_engines(points, flips)
+    origins = rng.integers(0, 25, size=(96, 3)).astype(np.float64)
+    origins[:, axis] -= 0.5
+    tmax = np.where(rng.random(96) < 0.5, np.inf, rng.uniform(0.0, 30.0, 96))
+
+    scalar_stats = RayStats()
+    hits = []
+    for origin, limit in zip(origins, tmax):
+        local = RayStats()
+        hits.append(scalar_engine.trace_axis_closest(axis, tuple(origin), float(limit), stats=local))
+        scalar_stats.merge(local)
+    batch_stats = RayStats()
+    batch = batch_engine.trace_axis_closest_batch(
+        axis, origins, tmax, stats=batch_stats, engine="compiled"
+    )
+
+    assert dataclasses.asdict(scalar_stats) == dataclasses.asdict(batch_stats)
+    for position, record in enumerate(hits):
+        assert bool(record) == bool(batch.hit[position])
+        if record:
+            assert record.primitive_index == batch.primitive_index[position]
+            assert record.t == batch.t[position]
+            assert record.front_face == bool(batch.front_face[position])
+            assert np.array_equal(record.point, batch.point[position])
+
+
+@requires_backend
+def test_megakernel_empty_scene_falls_back_cleanly():
+    engine = TraversalEngine(build_bvh(TriangleScene.from_triangles([])))
+    stats = RayStats()
+    batch = engine.trace_axis_closest_batch(0, np.zeros((3, 3)), stats=stats, engine="compiled")
+    assert not batch.hit.any()
+    assert stats.misses == 3 and stats.rays_cast == 3
+
+
+def test_python_backend_kernels_match_scalar(pinned_backend, rng):
+    """The un-jitted reference kernels themselves implement the oracle logic."""
+    pin = pinned_backend
+    pin("python")
+    assert compiled.available_backend() == "python"
+    points = [tuple(point) for point in rng.integers(0, 20, size=(60, 3))]
+    scalar_engine, batch_engine = build_engines(points, leaf_size=3)
+    origins = rng.integers(0, 20, size=(32, 3)).astype(np.float64)
+    origins[:, 1] -= 0.5
+    tmax = np.full(32, np.inf)
+
+    scalar_stats = RayStats()
+    hits = []
+    for origin in origins:
+        local = RayStats()
+        hits.append(scalar_engine.trace_axis_closest(1, tuple(origin), stats=local))
+        scalar_stats.merge(local)
+    batch_stats = RayStats()
+    batch = batch_engine.trace_axis_closest_batch(
+        1, origins, tmax, stats=batch_stats, engine="compiled"
+    )
+    assert dataclasses.asdict(scalar_stats) == dataclasses.asdict(batch_stats)
+    for position, record in enumerate(hits):
+        assert bool(record) == bool(batch.hit[position])
+        if record:
+            assert record.t == batch.t[position]
+
+
+def test_numba_backend_resolves_when_installed(pinned_backend):
+    pytest.importorskip("numba")
+    pinned_backend("numba")
+    assert compiled.available_backend() == "numba"
+    kernels = compiled.backend_kernels()
+    assert kernels is not None and len(kernels) == 2
+
+
+# --------------------------------------------------------------------------
+# Quantized node tables: conservative by construction
+# --------------------------------------------------------------------------
+
+
+@requires_backend
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_quantized_tables_are_conservative(seed):
+    """Dequantized bounds always contain the exact bounds (property test)."""
+    rng = np.random.default_rng(seed)
+    buffer = VertexBuffer()
+    # Adversarial frames: huge coordinates, tiny extents, duplicates.
+    scale = 10.0 ** rng.integers(-3, 6)
+    points = rng.uniform(0.0, scale, size=(200, 3))
+    points[::7] = points[0]
+    for slot, (x, y, z) in enumerate(points):
+        buffer.write_key_triangle(slot, float(x), float(y), float(z))
+    bvh = build_bvh(TriangleScene.from_vertex_buffer(buffer), BvhBuildConfig(max_leaf_size=3))
+    tables = compiled.CompiledBvhTables(bvh, compiled.Arena())
+    assert tables.usable
+    assert tables.verify_conservative(bvh)
+
+
+def test_quantize_outward_degenerate_frame():
+    """A single point (zero extent) quantizes without dividing by zero."""
+    bounds = np.full((4, 3), 42.0)
+    qlo, qhi, frame_min, scale = compiled._quantize_outward(bounds, bounds)
+    lo = frame_min + qlo.astype(np.float64) * scale
+    hi = frame_min + qhi.astype(np.float64) * scale
+    assert np.all(lo <= bounds) and np.all(hi >= bounds)
+
+
+# --------------------------------------------------------------------------
+# Shard-local arenas
+# --------------------------------------------------------------------------
+
+
+def test_arena_rebuild_in_place():
+    arena = compiled.Arena()
+    arena.begin(1024)
+    first = arena.alloc((16,), np.float64)
+    capacity = arena.capacity_bytes
+    assert capacity >= 1024 and arena.used_bytes == 128
+    # Same-size epoch: no reallocation, same capacity, cursor reset.
+    arena.begin(1024)
+    second = arena.alloc((16,), np.float64)
+    assert arena.capacity_bytes == capacity
+    assert second.__array_interface__["data"][0] == first.__array_interface__["data"][0]
+    # Larger epoch grows geometrically; smaller epochs never shrink.
+    arena.begin(4 * capacity)
+    assert arena.capacity_bytes >= 4 * capacity
+    grown = arena.capacity_bytes
+    arena.begin(64)
+    assert arena.capacity_bytes == grown
+    assert arena.rebuilds == 4
+
+
+def test_arena_alloc_alignment_and_overflow():
+    arena = compiled.Arena()
+    arena.begin(256)
+    base = arena._buffer.__array_interface__["data"][0]
+    small = arena.alloc((3,), np.uint8)
+    bigger = arena.alloc((4,), np.float32)
+    assert (small.__array_interface__["data"][0] - base) % compiled.Arena.ALIGNMENT == 0
+    assert (bigger.__array_interface__["data"][0] - base) % compiled.Arena.ALIGNMENT == 0
+    with pytest.raises(ValueError):
+        arena.alloc((1024,), np.float64)
+
+
+@requires_backend
+def test_index_arena_reused_across_update_epochs():
+    keyset = generate_keys(2048, uniformity=0.6, key_bits=32, seed=61)
+    index = CgRXuIndex(
+        keyset.keys, keyset.row_ids, CgRXuConfig(key_bits=32, engine="compiled")
+    )
+    lookups = hit_miss_lookups(keyset, 256, miss_fraction=0.3, seed=62)
+    index.point_lookup_batch(lookups)
+    assert index.compiled_buffers_bytes() > 0
+    chain_arena = index._compiled_arena
+    before = chain_arena.capacity_bytes
+    for wave in update_waves(keyset, num_insert_waves=1, num_delete_waves=1, seed=63):
+        index.update_batch(
+            insert_keys=wave.insert_keys if wave.insert_keys.size else None,
+            insert_row_ids=wave.insert_row_ids if wave.insert_keys.size else None,
+            delete_keys=wave.delete_keys if wave.delete_keys.size else None,
+        )
+        index.point_lookup_batch(lookups)
+        # Identity is stable: epochs repack the same arena object.
+        assert index._compiled_arena is chain_arena
+    assert chain_arena.rebuilds >= 2
+    assert chain_arena.capacity_bytes >= before
+
+
+# --------------------------------------------------------------------------
+# cgRX / cgRXu: compiled engine answers and counts identically
+# --------------------------------------------------------------------------
+
+
+@requires_backend
+@pytest.mark.parametrize("key_bits", [32, 64])
+@pytest.mark.parametrize("representation", ["naive", "optimized"])
+def test_cgrxu_compiled_identical_through_update_waves(key_bits, representation):
+    keyset = generate_keys(3072, uniformity=0.6, key_bits=key_bits, seed=31)
+    lookups = hit_miss_lookups(
+        keyset, 768, miss_fraction=0.3, out_of_range_fraction=0.4, seed=32
+    )
+    lows, highs = range_lookups(keyset, count=96, expected_hits=12, seed=33)
+
+    scalar = CgRXuIndex(
+        keyset.keys,
+        keyset.row_ids,
+        CgRXuConfig(key_bits=key_bits, representation=representation, engine="scalar"),
+    )
+    comp = CgRXuIndex(
+        keyset.keys,
+        keyset.row_ids,
+        CgRXuConfig(key_bits=key_bits, representation=representation, engine="compiled"),
+    )
+
+    assert_point_identical(
+        scalar.point_lookup_batch(lookups), comp.point_lookup_batch(lookups)
+    )
+    assert_range_identical(
+        scalar.range_lookup_batch(lows, highs), comp.range_lookup_batch(lows, highs)
+    )
+
+    for wave in update_waves(
+        keyset, num_insert_waves=2, num_delete_waves=2, growth_factor=1.3, seed=34
+    ):
+        scalar_update = scalar.update_batch(
+            insert_keys=wave.insert_keys if wave.insert_keys.size else None,
+            insert_row_ids=wave.insert_row_ids if wave.insert_keys.size else None,
+            delete_keys=wave.delete_keys if wave.delete_keys.size else None,
+        )
+        comp_update = comp.update_batch(
+            insert_keys=wave.insert_keys if wave.insert_keys.size else None,
+            insert_row_ids=wave.insert_row_ids if wave.insert_keys.size else None,
+            delete_keys=wave.delete_keys if wave.delete_keys.size else None,
+        )
+        assert scalar_update.inserted == comp_update.inserted
+        assert scalar_update.deleted == comp_update.deleted
+        assert_stats_identical(scalar_update.stats, comp_update.stats)
+
+    assert_point_identical(
+        scalar.point_lookup_batch(lookups), comp.point_lookup_batch(lookups)
+    )
+    assert_range_identical(
+        scalar.range_lookup_batch(lows, highs), comp.range_lookup_batch(lows, highs)
+    )
+    scalar_entries = scalar.export_entries()
+    comp_entries = comp.export_entries()
+    assert scalar_entries[0].tobytes() == comp_entries[0].tobytes()
+    assert scalar_entries[1].tobytes() == comp_entries[1].tobytes()
+
+
+@requires_backend
+@pytest.mark.parametrize("key_bits", [32, 64])
+def test_cgrx_compiled_identical(key_bits):
+    keyset = generate_keys(4096, uniformity=0.5, key_bits=key_bits, seed=51)
+    lookups = hit_miss_lookups(
+        keyset, 1024, miss_fraction=0.25, out_of_range_fraction=0.3, seed=52
+    )
+    lows, highs = range_lookups(keyset, count=64, expected_hits=8, seed=53)
+    scalar = CgRXIndex(
+        keyset.keys, keyset.row_ids, CgRXConfig(key_bits=key_bits, engine="scalar")
+    )
+    comp = CgRXIndex(
+        keyset.keys, keyset.row_ids, CgRXConfig(key_bits=key_bits, engine="compiled")
+    )
+    assert_point_identical(
+        scalar.point_lookup_batch(lookups), comp.point_lookup_batch(lookups)
+    )
+    assert_range_identical(
+        scalar.range_lookup_batch(lows, highs), comp.range_lookup_batch(lows, highs)
+    )
+
+
+# --------------------------------------------------------------------------
+# Degradation and configuration plumbing
+# --------------------------------------------------------------------------
+
+
+def test_resolve_engine_degrades_without_backend(pinned_backend):
+    pinned_backend("none")
+    assert compiled.available_backend() is None
+    assert resolve_engine("compiled") == "vector"
+    assert compiled.last_fallback_reason == "no_backend"
+    assert resolve_engine("vector") == "vector"
+    assert resolve_engine("scalar") == "scalar"
+
+
+def test_degraded_compiled_index_matches_vector(pinned_backend):
+    """No backend at all: engine="compiled" silently serves the vector path."""
+    pinned_backend("none")
+    keyset = generate_keys(1024, uniformity=0.5, key_bits=32, seed=71)
+    lookups = hit_miss_lookups(keyset, 256, miss_fraction=0.3, seed=72)
+    vector = CgRXuIndex(
+        keyset.keys, keyset.row_ids, CgRXuConfig(key_bits=32, engine="vector")
+    )
+    degraded = CgRXuIndex(
+        keyset.keys, keyset.row_ids, CgRXuConfig(key_bits=32, engine="compiled")
+    )
+    assert_point_identical(
+        vector.point_lookup_batch(lookups), degraded.point_lookup_batch(lookups)
+    )
+    assert degraded.compiled_buffers_bytes() == 0
+
+
+def test_degradation_records_telemetry(pinned_backend):
+    from repro.obs.profile import disable_profiling, enable_profiling
+
+    pinned_backend("none")
+    profile = enable_profiling()
+    try:
+        assert resolve_engine("compiled") == "vector"
+    finally:
+        disable_profiling()
+    gauges = profile.registry.labeled_values("compiled_engine_fallback")
+    assert gauges == {'compiled_engine_fallback{reason="no_backend"}': 1.0}
+    counters = profile.registry.labeled_values("compiled_engine_fallbacks_total")
+    assert counters == {'compiled_engine_fallbacks_total{reason="no_backend"}': 1}
+
+
+def test_engine_validation_accepts_compiled():
+    assert CgRXConfig(engine="compiled").engine == "compiled"
+    assert CgRXuConfig(engine="compiled").engine == "compiled"
+    from repro.serve import ServeConfig
+
+    assert ServeConfig(engine="compiled").engine == "compiled"
+    with pytest.raises(ValueError):
+        CgRXuConfig(engine="jit")
+
+
+@requires_backend
+def test_compiled_arena_reported_in_serve_footprint():
+    from repro.bench.harness import cgrxu_factory
+    from repro.serve import ServeConfig, ShardedIndex
+
+    keyset = generate_keys(2048, uniformity=0.5, key_bits=32, seed=81)
+    served = ShardedIndex(
+        keyset.keys,
+        keyset.row_ids,
+        factory=cgrxu_factory(engine="compiled"),
+        config=ServeConfig(num_shards=2, key_bits=32, engine="compiled"),
+    )
+    lookups = hit_miss_lookups(keyset, 256, miss_fraction=0.2, seed=82)
+    served.point_lookup_batch(lookups)
+    footprint = served.memory_footprint()
+    arena_entries = {
+        name: size
+        for name, size in footprint.components.items()
+        if "compiled_arena" in name
+    }
+    assert arena_entries and all(size > 0 for size in arena_entries.values())
+    snapshot = served.maintenance.snapshot()
+    assert snapshot["compiled_arena_bytes"] == sum(arena_entries.values())
+
+
+# --------------------------------------------------------------------------
+# RayBatch fast path of the wavefront tracer
+# --------------------------------------------------------------------------
+
+
+def test_ray_batch_matches_ray_objects(rng):
+    points = [tuple(point) for point in rng.integers(0, 15, size=(90, 3))]
+    object_engine, batch_engine = build_engines(points, leaf_size=3)
+    rays = []
+    for _ in range(48):
+        origin = rng.uniform(-1.0, 16.0, 3)
+        direction = rng.normal(size=3)
+        limit = float(np.inf if rng.random() < 0.7 else rng.uniform(0.0, 25.0))
+        rays.append(Ray(origin=origin, direction=direction, tmax=limit))
+    batch = RayBatch.from_rays(rays)
+    assert batch.num_rays == len(rays) == len(batch)
+
+    object_stats = RayStats()
+    object_hits = object_engine.trace_closest_batch(rays, object_stats)
+    batch_stats = RayStats()
+    batch_hits = batch_engine.trace_closest_batch(batch, batch_stats)
+
+    assert dataclasses.asdict(object_stats) == dataclasses.asdict(batch_stats)
+    for object_record, batch_record in zip(object_hits, batch_hits):
+        assert bool(object_record) == bool(batch_record)
+        if object_record:
+            assert object_record.primitive_index == batch_record.primitive_index
+            assert object_record.t == batch_record.t
+            assert object_record.front_face == batch_record.front_face
+
+
+def test_ray_batch_roundtrip_and_empty():
+    empty = RayBatch.from_rays([])
+    assert empty.num_rays == 0 and list(empty) == []
+    rays = [Ray(origin=(1.0, 2.0, 3.0), direction=(0.0, 1.0, 0.0), tmax=5.0)]
+    batch = RayBatch.from_rays(rays)
+    restored = batch.ray(0)
+    assert np.array_equal(restored.origin, np.asarray(rays[0].origin, dtype=np.float64))
+    assert restored.tmax == 5.0

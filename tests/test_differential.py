@@ -73,8 +73,13 @@ FACTORIES = {
     "FullScan": fullscan_factory,
     "cgRX": lambda: cgrx_factory(32),  # vector engine (default)
     "cgRX[scalar]": lambda: cgrx_factory(32, engine="scalar"),
+    # Compiled tier: degrades to vector when no backend is available, and the
+    # degraded answers are part of the same parity contract — safe to fuzz
+    # unconditionally.
+    "cgRX[compiled]": lambda: cgrx_factory(32, engine="compiled"),
     "cgRXu": lambda: cgrxu_factory(128),  # vector engine (default)
     "cgRXu[scalar]": lambda: cgrxu_factory(128, engine="scalar"),
+    "cgRXu[compiled]": lambda: cgrxu_factory(128, engine="compiled"),
 }
 
 CONFIGS = list(FACTORIES) + ["sharded", "replicated", "durable"]
